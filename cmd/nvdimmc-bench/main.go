@@ -1,0 +1,56 @@
+// Command nvdimmc-bench regenerates the tables and figures of the NVDIMM-C
+// paper's evaluation (§VI–§VII) on the simulated system and prints
+// paper-vs-measured rows.
+//
+// Usage:
+//
+//	nvdimmc-bench [-quick] [experiment ...]
+//
+// With no arguments every experiment runs in the paper's order. Available
+// experiments: table1 table2 aging fig7 fig8 fig9 fig10 fig11 mixed lru
+// fig12 fig13 windows.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"nvdimmc"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "smaller runs (CI scale)")
+	list := flag.Bool("list", false, "list experiments and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: nvdimmc-bench [-quick] [experiment ...]\navailable: %s\n",
+			strings.Join(nvdimmc.ExperimentNames(), " "))
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		fmt.Println(strings.Join(nvdimmc.ExperimentNames(), "\n"))
+		return
+	}
+
+	opts := nvdimmc.ExperimentOptions{Quick: *quick, Out: os.Stdout}
+	harnesses := nvdimmc.Experiments(opts)
+
+	names := flag.Args()
+	if len(names) == 0 {
+		names = nvdimmc.ExperimentNames()
+	}
+	for _, name := range names {
+		h, ok := harnesses[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "nvdimmc-bench: unknown experiment %q (try -list)\n", name)
+			os.Exit(2)
+		}
+		if err := h(); err != nil {
+			fmt.Fprintf(os.Stderr, "nvdimmc-bench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,125 @@
+// Command nvdimmc-sim runs one fio-style job against the simulated NVDIMM-C
+// module or the pmem baseline and prints the result, exposing the same knobs
+// the paper sweeps.
+//
+// Usage:
+//
+//	nvdimmc-sim -target nvdc -rw randread -bs 4096 -numjobs 1 -ops 1000 [-uncached]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"nvdimmc"
+	"nvdimmc/internal/core"
+	"nvdimmc/internal/workload/fio"
+)
+
+func main() {
+	target := flag.String("target", "nvdc", "device: nvdc | pmem")
+	rw := flag.String("rw", "randread", "pattern: read | write | randread | randwrite")
+	bs := flag.Int("bs", 4096, "block size in bytes")
+	jobs := flag.Int("numjobs", 1, "thread count")
+	ops := flag.Int("ops", 1000, "operations per thread")
+	uncached := flag.Bool("uncached", false, "nvdc: force misses (footprint >> cache, media prefilled)")
+	policy := flag.String("policy", "lrc", "nvdc slot replacement: lrc | lru | clock")
+	flag.Parse()
+
+	var pat fio.Pattern
+	switch *rw {
+	case "read":
+		pat = fio.SeqRead
+	case "write":
+		pat = fio.SeqWrite
+	case "randread":
+		pat = fio.RandRead
+	case "randwrite":
+		pat = fio.RandWrite
+	default:
+		fmt.Fprintf(os.Stderr, "nvdimmc-sim: unknown pattern %q\n", *rw)
+		os.Exit(2)
+	}
+
+	var tgt fio.Target
+	var sys *core.System
+	switch *target {
+	case "pmem":
+		d, err := nvdimmc.NewBaseline(nvdimmc.BaselineConfig())
+		die(err)
+		tgt = d
+	case "nvdc":
+		cfg := nvdimmc.DefaultConfig()
+		switch *policy {
+		case "lru":
+			cfg.Driver.Policy = nvdimmc.PolicyLRU
+		case "clock":
+			cfg.Driver.Policy = nvdimmc.PolicyClock
+		}
+		if *uncached {
+			cfg.NAND.BlocksPerDie = 512
+		}
+		s, err := nvdimmc.New(cfg)
+		die(err)
+		sys = s
+		ft := s.NewFioTarget()
+		if *uncached {
+			die(prefill(s))
+			ft.SetWalkFootprint(120 << 30)
+		} else {
+			pages := s.Layout.NumSlots * 9 / 10
+			die(fio.Prefill(ft, int64(pages)*core.PageSize, core.PageSize))
+			ft.SetWalkFootprint(15 << 30)
+		}
+		tgt = ft
+	default:
+		fmt.Fprintf(os.Stderr, "nvdimmc-sim: unknown target %q\n", *target)
+		os.Exit(2)
+	}
+
+	job := fio.Job{
+		Pattern: pat, BlockSize: *bs, NumJobs: *jobs,
+		OpsPerThread: *ops, WarmupOps: *ops / 10, Align: 4096,
+	}
+	if *target == "nvdc" && !*uncached {
+		job.FileSize = int64(sys.Layout.NumSlots*9/10) * core.PageSize
+	}
+	res, err := fio.Run(tgt, job)
+	die(err)
+	fmt.Println(res)
+	if sys != nil {
+		st := sys.Driver.Stats()
+		fmt.Printf("driver: hits=%d misses=%d evictions=%d writebacks=%d cachefills=%d fastfills=%d\n",
+			st.Hits, st.Misses, st.Evictions, st.Writebacks, st.Cachefills, st.FastFills)
+		nv := sys.NVMC.Stats()
+		fmt.Printf("nvmc: windows=%d used=%d polls=%d windows/cmd=%.1f\n",
+			nv.WindowsSeen, nv.WindowsUsed, nv.Polls, nv.WindowsPerCmd)
+		die(sys.CheckHealth())
+	}
+}
+
+// prefill writes every logical NAND page (zero data, deduplicated by the
+// NAND model) so uncached runs read real media.
+func prefill(s *core.System) error {
+	zero := make([]byte, core.PageSize)
+	n := s.FTL.LogicalPages()
+	pending := 0
+	for p := int64(0); p < n; p++ {
+		pending++
+		s.FTL.WritePage(p, zero, func(error) { pending-- })
+		if pending >= 512 {
+			if err := s.RunUntil(func() bool { return pending < 64 }, nvdimmc.Milliseconds(30000)); err != nil {
+				return err
+			}
+		}
+	}
+	return s.RunUntil(func() bool { return pending == 0 }, nvdimmc.Milliseconds(30000))
+}
+
+func die(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nvdimmc-sim:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,3 @@
+module nvdimmc
+
+go 1.22

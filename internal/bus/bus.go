@@ -1,0 +1,237 @@
+// Package bus models the shared DDR4 memory channel of the NVDIMM-C board:
+// the one set of CA/DQ wires routed both to the host iMC and to the FPGA's
+// DDR4 controller (NVMC). There is deliberately no arbiter — the standard
+// DDR4 interface has no request/grant and no feedback signal (§III-B) — so
+// the channel's job is to route commands to the DRAM, feed the snoop taps
+// (refresh detector), and *detect* conflicting use by the two masters, which
+// on real hardware would corrupt data or crash the system.
+package bus
+
+import (
+	"fmt"
+
+	"nvdimmc/internal/ddr4"
+	"nvdimmc/internal/dram"
+	"nvdimmc/internal/sim"
+	"nvdimmc/internal/trace"
+)
+
+// Master identifies a bus master.
+type Master int
+
+// The two masters sharing the channel (§III-B).
+const (
+	HostIMC Master = iota
+	NVMC
+)
+
+func (m Master) String() string {
+	if m == HostIMC {
+		return "iMC"
+	}
+	return "NVMC"
+}
+
+// Collision records conflicting channel use. With the tRFC mechanism enabled
+// none may ever occur; the ablation with the mechanism disabled produces
+// them, demonstrating why the mechanism is necessary.
+type Collision struct {
+	At   sim.Time
+	By   Master
+	Desc string
+}
+
+func (c Collision) String() string { return fmt.Sprintf("%v: %v: %s", c.At, c.By, c.Desc) }
+
+// Snoop observes every CA bus cycle. The refresh detector attaches one.
+type Snoop func(at sim.Time, state ddr4.CAState)
+
+// Channel is the shared memory channel with one DRAM rank behind it.
+type Channel struct {
+	k      *sim.Kernel
+	dev    *dram.Device
+	timing ddr4.Timing
+
+	// DataBus serializes host-side data-bus occupancy: CAS bursts and the
+	// programmed-tRFC refresh dead time. The NVMC deliberately does NOT
+	// acquire it — there is no arbitration on a standard DDR4 channel; its
+	// safety comes only from the refresh-window discipline.
+	DataBus *sim.Resource
+
+	snoops []Snoop
+
+	// Trace, when set, records channel activity for bring-up debugging.
+	Trace *trace.Log
+
+	lastCmdAt     sim.Time
+	lastCmdMaster Master
+	lastCmdValid  bool
+
+	collisions     []Collision
+	collisionLimit int
+	collisionsN    uint64
+
+	// hostHolds tracks the current host data-bus hold for overlap checks
+	// against NVMC transfers.
+	hostHoldUntil sim.Time
+
+	// Counters.
+	hostCommands, nvmcCommands uint64
+	hostBytes, nvmcBytes       uint64
+}
+
+// New returns a channel wired to dev.
+func New(k *sim.Kernel, dev *dram.Device) *Channel {
+	return &Channel{
+		k:              k,
+		dev:            dev,
+		timing:         dev.Config().Timing,
+		DataBus:        sim.NewResource(k, "ddr4-channel"),
+		collisionLimit: 1024,
+	}
+}
+
+// Device returns the DRAM rank behind the channel.
+func (c *Channel) Device() *dram.Device { return c.dev }
+
+// Timing returns the channel timing parameters.
+func (c *Channel) Timing() ddr4.Timing { return c.timing }
+
+// AttachSnoop registers a CA-bus observer (e.g. the refresh detector's
+// deserializer inputs, Fig. 4).
+func (c *Channel) AttachSnoop(s Snoop) { c.snoops = append(c.snoops, s) }
+
+// Collisions returns recorded collisions (capped; see CollisionCount).
+func (c *Channel) Collisions() []Collision { return c.collisions }
+
+// CollisionCount returns the total number of collisions observed.
+func (c *Channel) CollisionCount() uint64 { return c.collisionsN }
+
+func (c *Channel) collide(by Master, format string, args ...interface{}) {
+	if c.Trace != nil {
+		c.Trace.Addf(c.k.Now(), trace.KindCollision, format, args...)
+	}
+	c.collisionsN++
+	if len(c.collisions) < c.collisionLimit {
+		c.collisions = append(c.collisions, Collision{
+			At:   c.k.Now(),
+			By:   by,
+			Desc: fmt.Sprintf(format, args...),
+		})
+	}
+}
+
+// Issue drives one command onto the CA bus at the current instant. It feeds
+// the snoop taps, checks for command collisions (two masters driving CA in
+// the same clock — Fig. 2a case C1), and applies the command to the DRAM.
+func (c *Channel) Issue(m Master, cmd ddr4.Command) {
+	now := c.k.Now()
+	state := ddr4.Encode(cmd.Kind)
+	for _, s := range c.snoops {
+		s(now, state)
+	}
+	if m == HostIMC {
+		c.hostCommands++
+	} else {
+		c.nvmcCommands++
+	}
+	if c.Trace != nil {
+		kind := trace.KindCommand
+		if cmd.Kind == ddr4.CmdRefresh {
+			kind = trace.KindRefresh
+		}
+		c.Trace.Addf(now, kind, "%v: %v", m, cmd)
+	}
+	// Command collision: both masters driving the CA wires within one clock.
+	if c.lastCmdValid && now.Sub(c.lastCmdAt) < c.timing.TCK && c.lastCmdMaster != m {
+		c.collide(m, "CA bus driven by %v and %v within one tCK (%v)", c.lastCmdMaster, m, cmd)
+	}
+	c.lastCmdAt = now
+	c.lastCmdMaster = m
+	c.lastCmdValid = true
+
+	// NVMC commands outside the extra window are unsafe even if no host
+	// command happens to be in flight this cycle: the iMC issues commands
+	// unpredictably (§III-B), so any access outside the guaranteed-quiet
+	// window is a latent conflict. The model treats it as a collision.
+	if m == NVMC && cmd.Kind != ddr4.CmdDeselect && cmd.Kind != ddr4.CmdNOP && !c.dev.InExtraWindow() {
+		c.collide(m, "NVMC command %v outside the extra-tRFC window", cmd)
+	}
+	c.dev.Apply(cmd)
+}
+
+// HostTransferTime returns how long the data bus is occupied moving n bytes
+// for the host, including row activate/precharge overhead for rowSwitches
+// row transitions.
+func (c *Channel) HostTransferTime(n int, rowSwitches int) sim.Duration {
+	bursts := (n + ddr4.BurstBytes - 1) / ddr4.BurstBytes
+	d := sim.Duration(bursts) * c.timing.TBL
+	d += sim.Duration(rowSwitches) * (c.timing.TRCD + c.timing.TRP + c.timing.TCL)
+	return d
+}
+
+// HostRead acquires the host data bus, copies n bytes out of the DRAM at the
+// grant instant, and calls done (if non-nil) when the bus is released.
+func (c *Channel) HostRead(addr int64, buf []byte, rowSwitches int, done func()) {
+	hold := c.HostTransferTime(len(buf), rowSwitches)
+	c.DataBus.Acquire(hold, func(start sim.Time) {
+		if err := c.dev.CopyOut(addr, buf); err != nil {
+			panic(fmt.Sprintf("bus: host read: %v", err))
+		}
+		c.hostBytes += uint64(len(buf))
+		c.hostHoldUntil = start.Add(hold)
+		if done != nil {
+			c.k.ScheduleAt(start.Add(hold), done)
+		}
+	})
+}
+
+// HostWrite acquires the host data bus and copies data into the DRAM.
+func (c *Channel) HostWrite(addr int64, data []byte, rowSwitches int, done func()) {
+	hold := c.HostTransferTime(len(data), rowSwitches)
+	// Copy the caller's bytes now: the caller may reuse its buffer.
+	owned := make([]byte, len(data))
+	copy(owned, data)
+	c.DataBus.Acquire(hold, func(start sim.Time) {
+		if err := c.dev.CopyIn(addr, owned); err != nil {
+			panic(fmt.Sprintf("bus: host write: %v", err))
+		}
+		c.hostBytes += uint64(len(owned))
+		c.hostHoldUntil = start.Add(hold)
+		if done != nil {
+			c.k.ScheduleAt(start.Add(hold), done)
+		}
+	})
+}
+
+// NVMCAccess performs an immediate (already-timed) NVMC data transfer of n
+// bytes at the current instant. The NVMC's own FSM is responsible for doing
+// this only inside the extra window; accesses outside it are recorded as
+// collisions (and additionally collide with any host hold in progress).
+// dir=true reads DRAM into buf; dir=false writes buf into DRAM.
+func (c *Channel) NVMCAccess(addr int64, buf []byte, read bool) error {
+	now := c.k.Now()
+	if !c.dev.InExtraWindow() {
+		c.collide(NVMC, "NVMC data transfer (%dB) outside the extra-tRFC window", len(buf))
+		if c.hostHoldUntil > now {
+			c.collide(NVMC, "NVMC transfer overlaps live host burst")
+		}
+	}
+	c.nvmcBytes += uint64(len(buf))
+	if c.Trace != nil {
+		dir := "write"
+		if read {
+			dir = "read"
+		}
+		c.Trace.Addf(now, trace.KindNVMCData, "%s %dB @%#x", dir, len(buf), addr)
+	}
+	if read {
+		return c.dev.CopyOut(addr, buf)
+	}
+	return c.dev.CopyIn(addr, buf)
+}
+
+// Stats reports per-master command and byte counters.
+func (c *Channel) Stats() (hostCmds, nvmcCmds, hostBytes, nvmcBytes uint64) {
+	return c.hostCommands, c.nvmcCommands, c.hostBytes, c.nvmcBytes
+}

@@ -1,0 +1,31 @@
+package core
+
+import "nvdimmc/internal/dax"
+
+// daxDevice adapts the nvdc driver to the dax.Device interface: faults
+// resolve to the physical DRAM address of the slot serving the page, and
+// trims release both the slot and the media page.
+type daxDevice struct{ s *System }
+
+// DaxDevice returns the block device view the DAX filesystem mounts
+// (/dev/nvdc0 in the paper, §IV-B).
+func (s *System) DaxDevice() dax.Device { return daxDevice{s: s} }
+
+func (d daxDevice) CapacityPages() int64 { return d.s.Driver.CapacityPages() }
+
+func (d daxDevice) Fault(lpn int64, write bool, done func(physAddr int64)) {
+	d.s.Driver.Fault(lpn, write, func(slot int) {
+		done(d.s.Layout.SlotAddr(slot))
+	})
+}
+
+func (d daxDevice) Trim(lpn int64) {
+	// Drop the cached copy (its slot returns to the free pool) and release
+	// the media page. Without the driver-side trim, re-allocating the block
+	// to a new file would surface the dead file's stale bytes.
+	d.s.Driver.Trim(lpn)
+	d.s.FTL.Trim(lpn)
+}
+
+// MountDax formats and mounts a DAX filesystem over the module.
+func (s *System) MountDax() *dax.FS { return dax.Mount(s.DaxDevice()) }

@@ -1,0 +1,364 @@
+// Package core assembles the NVDIMM-C system: the paper's primary
+// contribution as one object. It wires the DRAM-cache DIMM, the shared DDR4
+// channel, the host iMC, the refresh detector, the NVMC (FPGA + firmware +
+// FTL + Z-NAND) and the nvdc driver into a runnable machine, and exposes the
+// byte-addressable load/store path an application sees through fsdax.
+//
+// Geometry is scale-parameterized: experiments run with smaller DRAM cache
+// and NAND arrays than the 16 GB + 128 GB PoC while preserving the ratios
+// the results depend on (cache:media, tRFC:tREFI, op:window).
+package core
+
+import (
+	"fmt"
+
+	"nvdimmc/internal/bus"
+	"nvdimmc/internal/cpucache"
+	"nvdimmc/internal/ddr4"
+	"nvdimmc/internal/dram"
+	"nvdimmc/internal/ftl"
+	"nvdimmc/internal/hostmem"
+	"nvdimmc/internal/imc"
+	"nvdimmc/internal/nand"
+	"nvdimmc/internal/nvdc"
+	"nvdimmc/internal/nvmc"
+	"nvdimmc/internal/refdet"
+	"nvdimmc/internal/sim"
+	"nvdimmc/internal/trace"
+)
+
+// PageSize is the system-wide 4 KB management granularity.
+const PageSize = 4096
+
+// Config sizes and parameterizes a full NVDIMM-C system.
+type Config struct {
+	// Grade is the channel speed (the PoC is limited to DDR4-1600, §VI).
+	Grade ddr4.SpeedGrade
+	// TREFI is the refresh cadence (7.8 us normal; 3.9 "tREFI2"; 1.95
+	// "tREFI4" per §VII-D).
+	TREFI sim.Duration
+	// TRFC is the programmed refresh cycle (1.25 us on the PoC: 350 ns
+	// JEDEC + 900 ns extra window, §IV-A).
+	TRFC sim.Duration
+
+	// CacheBytes is the DRAM-cache module size (16 GB on the PoC).
+	CacheBytes int64
+	// MetaBytes is the metadata area size (16 MB on the PoC). Zero derives
+	// a size just large enough for the slot count.
+	MetaBytes int64
+	// SlotFraction is the share of post-metadata space used as slots
+	// (15/16 GB on the PoC).
+	SlotFraction float64
+
+	// NAND geometry (2 x 64 GB Z-NAND on the PoC; scale down for tests).
+	NAND nand.Config
+	FTL  ftl.Config
+	NVMC nvmc.Config
+
+	// Driver knobs: see nvdc.Config; layout is filled in by NewSystem.
+	Driver nvdc.Config
+
+	// CPUCacheBytes attaches a functional CPU cache model of this size to
+	// the load/store path (0 = none; timing-only experiments skip it).
+	CPUCacheBytes int
+
+	// MechanismEnabled gates the refresh detector + window engine. The
+	// ablation with it disabled demonstrates bus collisions (§III-B).
+	MechanismEnabled bool
+
+	// TraceCapacity, when positive, attaches a bounded event trace (the
+	// logic-analyzer stand-in) to the channel and the NVMC.
+	TraceCapacity int
+
+	// StrictADR makes the power-fail sequence drain the WPQ into the DRAM
+	// cache BEFORE the firmware flush reads it — the ADR-detection future
+	// work of §V-C. The default (false) is PoC-faithful: the two run in
+	// parallel and in-flight WPQ stores can lose the race (the "weak
+	// persistence domain").
+	StrictADR bool
+
+	// IMC holds the host memory-controller knobs.
+	IMC imc.Config
+}
+
+// DefaultConfig returns a laptop-scale system preserving the PoC's ratios:
+// 16 MB DRAM cache standing in for 16 GB, 128 MB of Z-NAND for 128 GB.
+func DefaultConfig() Config {
+	n := nand.DefaultConfig()
+	// 2 ch x 2 dies x 256 blocks x 64 pages x 4 KB = 256 MB raw by default;
+	// trim to 128 MB raw for the 1:8 cache:media ratio.
+	n.BlocksPerDie = 128
+	imcCfg := imc.DefaultConfig()
+	return Config{
+		Grade:            ddr4.DDR4_1600,
+		TREFI:            ddr4.TREFI,
+		TRFC:             1250 * sim.Nanosecond,
+		CacheBytes:       16 << 20,
+		MetaBytes:        0,
+		SlotFraction:     0.9375,
+		NAND:             n,
+		FTL:              ftl.DefaultConfig(),
+		NVMC:             nvmc.DefaultConfig(),
+		CPUCacheBytes:    0,
+		MechanismEnabled: true,
+		IMC:              imcCfg,
+	}
+}
+
+// System is a fully assembled NVDIMM-C machine.
+type System struct {
+	K        *sim.Kernel
+	Config   Config
+	DRAM     *dram.Device
+	Channel  *bus.Channel
+	IMC      *imc.Controller
+	Detector *refdet.Detector
+	NAND     *nand.Array
+	FTL      *ftl.FTL
+	NVMC     *nvmc.Controller
+	Driver   *nvdc.Driver
+	CPUCache *cpucache.Cache
+	Layout   hostmem.Layout
+	// Trace is non-nil when Config.TraceCapacity > 0.
+	Trace *trace.Log
+
+	lostWPQ int
+}
+
+// LostWPQWrites reports posted stores that lost the §V-C power-fail race
+// (zero with StrictADR).
+func (s *System) LostWPQWrites() int { return s.lostWPQ }
+
+// NewSystem assembles and boots a system: the BIOS-equivalent setup
+// (refresh running, metadata initialized) completes before return.
+func NewSystem(cfg Config) (*System, error) {
+	k := sim.NewKernel()
+
+	// DRAM-cache DIMM geometry from CacheBytes: 16 banks, 8 KB rows.
+	timing := ddr4.NewTiming(cfg.Grade)
+	timing.TRFC = cfg.TRFC
+	timing.TREFI = cfg.TREFI
+	if err := timing.Validate(); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	const banks, burstsPerRow = 16, 128
+	rowBytes := int64(burstsPerRow * ddr4.BurstBytes)
+	rows := cfg.CacheBytes / (int64(banks) * rowBytes)
+	if rows < 1 {
+		return nil, fmt.Errorf("core: cache %d B too small", cfg.CacheBytes)
+	}
+	dcfg := dram.Config{
+		Timing:       timing,
+		Banks:        banks,
+		Rows:         int(rows),
+		BurstsPerRow: burstsPerRow,
+		StandardTRFC: ddr4.Density8Gb.StandardTRFC(),
+	}
+	dev := dram.New(k, dcfg)
+
+	ch := bus.New(k, dev)
+
+	imcCfg := cfg.IMC
+	imcCfg.TREFI = cfg.TREFI
+	imcCfg.TRFC = cfg.TRFC
+	mc := imc.New(k, ch, imcCfg)
+
+	det := refdet.New(k, timing.TCK)
+	det.SetEnabled(cfg.MechanismEnabled)
+	ch.AttachSnoop(det.Snoop())
+
+	arr := nand.New(k, cfg.NAND)
+	f := ftl.New(k, arr, cfg.FTL)
+
+	// Region layout over the DRAM cache (region base = DRAM address 0).
+	metaBytes := cfg.MetaBytes
+	if metaBytes == 0 {
+		// Size for the worst case slot count (all post-meta space).
+		metaBytes = ((dev.Capacity()/PageSize)*4 + 16 + PageSize - 1) &^ (PageSize - 1)
+	}
+	layout, err := hostmem.NewLayout(dev.Capacity(), metaBytes, cfg.SlotFraction)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+
+	nc := nvmc.New(k, ch, det, f, layout, cfg.NVMC)
+	nc.SetEnabled(cfg.MechanismEnabled)
+
+	var cache *cpucache.Cache
+	if cfg.CPUCacheBytes > 0 {
+		cache = cpucache.New(dev, cfg.CPUCacheBytes)
+	}
+
+	drvCfg := cfg.Driver
+	if drvCfg.MapCost == 0 {
+		drvCfg = nvdc.DefaultConfig(layout)
+		drvCfg.Policy = cfg.Driver.Policy
+		drvCfg.TrackDirty = cfg.Driver.TrackDirty
+		drvCfg.CombineWBCF = cfg.Driver.CombineWBCF
+		drvCfg.UnsafeNoFlush = cfg.Driver.UnsafeNoFlush
+		drvCfg.CPQueueDepth = cfg.Driver.CPQueueDepth
+		drvCfg.Hypothetical = cfg.Driver.Hypothetical
+		drvCfg.TD = cfg.Driver.TD
+		if cfg.Driver.TDOverlap != 0 {
+			drvCfg.TDOverlap = cfg.Driver.TDOverlap
+		}
+	} else {
+		drvCfg.Layout = layout
+	}
+	// The filesystem's written/unwritten-extent knowledge: a block has media
+	// data iff the FTL maps it.
+	drvCfg.MediaWritten = f.IsMapped
+	drv, err := nvdc.New(k, mc, cache, f.LogicalPages(), drvCfg)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+
+	s := &System{
+		K: k, Config: cfg, DRAM: dev, Channel: ch, IMC: mc,
+		Detector: det, NAND: arr, FTL: f, NVMC: nc, Driver: drv,
+		CPUCache: cache, Layout: layout,
+	}
+	if cfg.TraceCapacity > 0 {
+		s.Trace = trace.New(cfg.TraceCapacity)
+		ch.Trace = s.Trace
+		nc.Trace = s.Trace
+	}
+	// Boot: let the metadata-initialization write drain before refresh
+	// begins (the refresh engine reschedules forever, so a full Run would
+	// never return).
+	k.Run()
+	mc.StartRefresh()
+	return s, nil
+}
+
+// Run drains all pending events (the refresh engine keeps scheduling, so
+// prefer RunFor/RunUntilIdle in workloads).
+func (s *System) Run() { s.K.Run() }
+
+// RunFor advances simulated time by d.
+func (s *System) RunFor(d sim.Duration) { s.K.RunFor(d) }
+
+// RunUntil steps until cond() holds, bounded by maxSim time to catch hangs.
+func (s *System) RunUntil(cond func() bool, maxSim sim.Duration) error {
+	deadline := s.K.Now().Add(maxSim)
+	for !cond() {
+		if s.K.Now() > deadline {
+			return fmt.Errorf("core: condition not met within %v", maxSim)
+		}
+		if !s.K.Step() {
+			return fmt.Errorf("core: kernel drained before condition met")
+		}
+	}
+	return nil
+}
+
+// CheckHealth asserts the invariants that must hold after any workload when
+// the mechanism is enabled: no bus collisions, no DRAM protocol violations,
+// no refresh-detector false positives, consistent FTL state.
+func (s *System) CheckHealth() error {
+	if n := s.Channel.CollisionCount(); n != 0 {
+		return fmt.Errorf("core: %d bus collisions: first: %v", n, s.Channel.Collisions()[0])
+	}
+	if n := s.DRAM.ViolationCount(); n != 0 {
+		return fmt.Errorf("core: %d DRAM protocol violations: first: %v", n, s.DRAM.Violations()[0])
+	}
+	st := s.Detector.Stats()
+	if st.FalsePositives != 0 {
+		return fmt.Errorf("core: %d refresh-detector false positives", st.FalsePositives)
+	}
+	if err := s.FTL.CheckInvariants(); err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	return nil
+}
+
+// --- Byte-addressable application path -------------------------------------
+
+// Load reads len(buf) bytes at device offset off through the DAX mapping:
+// faults make pages resident, then data moves from the DRAM cache. done runs
+// when the data is in buf.
+func (s *System) Load(off int64, buf []byte, done func()) {
+	s.access(off, buf, false, done)
+}
+
+// Store writes data at device offset off through the DAX mapping.
+func (s *System) Store(off int64, data []byte, done func()) {
+	s.access(off, data, true, done)
+}
+
+func (s *System) access(off int64, buf []byte, write bool, done func()) {
+	if off < 0 || off+int64(len(buf)) > s.Driver.CapacityPages()*PageSize {
+		panic(fmt.Sprintf("core: access [%d,%d) outside device", off, off+int64(len(buf))))
+	}
+	if len(buf) == 0 {
+		if done != nil {
+			done()
+		}
+		return
+	}
+	// Split by page, fault each, then move that page's span.
+	var step func(pos int)
+	step = func(pos int) {
+		if pos >= len(buf) {
+			if done != nil {
+				done()
+			}
+			return
+		}
+		cur := off + int64(pos)
+		lpn := cur / PageSize
+		pageOff := cur % PageSize
+		n := int(PageSize - pageOff)
+		if n > len(buf)-pos {
+			n = len(buf) - pos
+		}
+		s.Driver.Fault(lpn, write, func(slot int) {
+			addr := s.Layout.SlotAddr(slot) + pageOff
+			span := buf[pos : pos+n]
+			if s.CPUCache != nil {
+				// Functional movement through the CPU cache; bus time is
+				// charged via the iMC below only for the cache misses the
+				// model would have had — approximated by charging the span.
+				var err error
+				if write {
+					err = s.CPUCache.Store(addr, span)
+				} else {
+					err = s.CPUCache.Load(addr, span)
+				}
+				if err != nil {
+					panic(fmt.Sprintf("core: cpu cache: %v", err))
+				}
+				s.K.Schedule(0, func() { step(pos + n) })
+				return
+			}
+			if write {
+				s.IMC.Write(addr, span, func() { step(pos + n) })
+			} else {
+				s.IMC.Read(addr, span, func() { step(pos + n) })
+			}
+		})
+	}
+	step(0)
+}
+
+// PowerFail triggers the §V-C power-loss sequence and returns the number of
+// dirty pages flushed to Z-NAND once the battery-backed flush completes.
+// Unless Config.StrictADR is set, in-flight WPQ stores race the firmware
+// flush and may be lost (LostWPQWrites reports how many were).
+func (s *System) PowerFail() (int, error) {
+	_, lost := s.IMC.ADRFlushRacing(!s.Config.StrictADR)
+	s.lostWPQ += lost
+	s.IMC.StopRefresh()
+	var flushed int
+	var ferr error
+	doneFlag := false
+	s.NVMC.PowerFail(func(n int, err error) {
+		flushed, ferr = n, err
+		doneFlag = true
+	})
+	s.K.RunWhile(func() bool { return !doneFlag })
+	if ferr != nil {
+		return flushed, ferr
+	}
+	return flushed, nil
+}

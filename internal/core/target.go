@@ -1,0 +1,128 @@
+package core
+
+import (
+	"fmt"
+
+	"nvdimmc/internal/hostcost"
+	"nvdimmc/internal/sim"
+)
+
+// FioTarget adapts a System to the fio workload runner: each op pays the
+// pre-op host CPU cost on its thread, the nvdc serialized section under the
+// driver lock, the fault path for each spanned page (hit or miss), and then
+// the copy itself as interleaved CPU/bus chunks — memcpy is the data
+// movement, so its CPU time and channel occupancy overlap refresh holds
+// together.
+type FioTarget struct {
+	s    *System
+	cost hostcost.Model
+
+	footprint     int64
+	walkFootprint int64
+}
+
+// NewFioTarget returns the fio adapter for the system.
+func (s *System) NewFioTarget() *FioTarget {
+	return &FioTarget{s: s, cost: hostcost.Default()}
+}
+
+// Name identifies the target in reports.
+func (t *FioTarget) Name() string { return "nvdimm-c" }
+
+// Kernel returns the system kernel.
+func (t *FioTarget) Kernel() *sim.Kernel { return t.s.K }
+
+// Capacity is the block device size.
+func (t *FioTarget) Capacity() int64 { return t.s.Driver.CapacityPages() * PageSize }
+
+// Prepare records the workload footprint.
+func (t *FioTarget) Prepare(footprint int64) {
+	t.footprint = footprint
+	if t.walkFootprint == 0 {
+		t.walkFootprint = footprint
+	}
+}
+
+// SetWalkFootprint overrides the footprint used for TLB/page-walk costs.
+// Scaled experiments set it to the paper's full-size footprint so the host
+// software path is costed as on the real testbed while device offsets stay
+// within the scaled capacity.
+func (t *FioTarget) SetWalkFootprint(f int64) { t.walkFootprint = f }
+
+// ThreadCPU is the pre-op host cost on the issuing thread.
+func (t *FioTarget) ThreadCPU(n int, write bool) sim.Duration {
+	return t.cost.DispatchCPU(n, write, t.walkFootprint)
+}
+
+// Do performs the device part of one op.
+func (t *FioTarget) Do(off int64, n int, write bool, done func()) {
+	if off < 0 || off+int64(n) > t.Capacity() {
+		panic(fmt.Sprintf("core: fio op [%d,%d) outside device", off, off+int64(n)))
+	}
+	s := t.s
+	// Serialized driver section (lock shared with the miss path).
+	s.Driver.Serialize(hostcost.NvdcSerialized(n), func() {
+		first := off / PageSize
+		last := (off + int64(n) - 1) / PageSize
+		var faultPage func(lpn int64)
+		faultPage = func(lpn int64) {
+			if lpn > last {
+				t.transfer(off, n, write, done)
+				return
+			}
+			s.Driver.Fault(lpn, write, func(int) { faultPage(lpn + 1) })
+		}
+		faultPage(first)
+	})
+}
+
+// transfer moves the op's bytes over the channel as interleaved CPU/bus
+// chunks. Sub-page ops address their slot; multi-page spans cover scattered
+// slots, so they are charged at the slot-area base — only occupancy matters
+// here, the functional byte path lives in System.Load/Store.
+func (t *FioTarget) transfer(off int64, n int, write bool, done func()) {
+	s := t.s
+	first := off / PageSize
+	last := (off + int64(n) - 1) / PageSize
+	base := s.Layout.SlotsOffset
+	if first == last {
+		slot := s.Driver.SlotOf(first)
+		if slot >= 0 {
+			base = s.Layout.SlotAddr(slot) + off%PageSize
+		}
+	}
+	chunks := hostcost.CopyChunks(n)
+	cpuSlice := t.cost.CopyCPU(n) / sim.Duration(chunks)
+	per := n / chunks
+	i := 0
+	var step func()
+	step = func() {
+		if i >= chunks {
+			done()
+			return
+		}
+		i++
+		sz := per
+		if i == chunks {
+			sz = n - per*(chunks-1)
+		}
+		rs := 0
+		if i == 1 {
+			rs = 1
+		}
+		o := base + int64((i-1)*per)
+		if o+int64(sz) > s.DRAM.Capacity() {
+			o = base // clamp: occupancy-only transfer
+		}
+		buf := make([]byte, sz)
+		cont := step
+		s.K.Schedule(cpuSlice, func() {
+			if write {
+				s.IMC.WriteRS(o, buf, rs, cont)
+			} else {
+				s.IMC.ReadRS(o, buf, rs, cont)
+			}
+		})
+	}
+	step()
+}

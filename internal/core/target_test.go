@@ -1,0 +1,152 @@
+package core
+
+import (
+	"testing"
+
+	"nvdimmc/internal/sim"
+	"nvdimmc/internal/workload/fio"
+)
+
+// prefillCache makes the first `pages` device pages resident (NVDC-Cached
+// precondition).
+func prefillCache(t *testing.T, s *System, pages int) {
+	t.Helper()
+	tgt := s.NewFioTarget()
+	_, err := fio.Run(tgt, fio.Job{
+		Pattern: fio.SeqWrite, BlockSize: PageSize, NumJobs: 1,
+		FileSize: int64(pages) * PageSize, OpsPerThread: pages,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFig8CachedAnchor(t *testing.T) {
+	// NVDC-Cached 4 KB randread @1 thread: paper 1835 MB/s (70% of the
+	// 2606 MB/s baseline).
+	s := mustSystem(t, DefaultConfig())
+	pages := s.Layout.NumSlots * 9 / 10
+	prefillCache(t, s, pages)
+	tgt := s.NewFioTarget()
+	tgt.SetWalkFootprint(15 << 30) // the host maps the full 15 GB slot space
+	res, err := fio.Run(tgt, fio.Job{
+		Pattern: fio.RandRead, BlockSize: PageSize, NumJobs: 1,
+		FileSize: int64(pages) * PageSize, OpsPerThread: 1500, WarmupOps: 100,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if misses := s.Driver.Stats().Misses - uint64(pages); misses > 5 {
+		t.Fatalf("cached run missed %d times", misses)
+	}
+	got := res.BandwidthMBps()
+	if got < 1400 || got > 2300 {
+		t.Fatalf("NVDC-Cached 4K randread = %.0f MB/s, want ~1835 (+/-25%%)", got)
+	}
+	if err := s.CheckHealth(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// prefillFTL writes every logical page directly into the FTL (zero data —
+// the NAND model deduplicates it) so uncached reads hit real media instead
+// of the unmapped-page shortcut.
+func prefillFTL(t *testing.T, s *System) {
+	t.Helper()
+	zero := make([]byte, PageSize)
+	n := s.FTL.LogicalPages()
+	pending := 0
+	for p := int64(0); p < n; p++ {
+		pending++
+		s.FTL.WritePage(p, zero, func(err error) {
+			if err != nil {
+				t.Errorf("prefill: %v", err)
+			}
+			pending--
+		})
+		if pending >= 512 {
+			if err := s.RunUntil(func() bool { return pending < 64 }, 10*sim.Second); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := s.RunUntil(func() bool { return pending == 0 }, 10*sim.Second); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFig8UncachedAnchor(t *testing.T) {
+	// NVDC-Uncached 4 KB randread @1 thread: paper 57.3 MB/s (69.8 us/op).
+	// A larger NAND keeps the scaled footprint:cache ratio high enough that
+	// nearly every access misses, as on the 120 GB / 16 GB testbed.
+	cfg := DefaultConfig()
+	cfg.NAND.BlocksPerDie = 512 // 512 MB raw vs 16 MB cache
+	s := mustSystem(t, cfg)
+	prefillFTL(t, s)
+	tgt := s.NewFioTarget()
+	tgt.SetWalkFootprint(120 << 30)
+	slots := s.Layout.NumSlots
+	res, err := fio.Run(tgt, fio.Job{
+		Pattern: fio.RandRead, BlockSize: PageSize, NumJobs: 1,
+		FileSize: tgt.Capacity(), OpsPerThread: 300, WarmupOps: slots + 50,
+		Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := res.BandwidthMBps()
+	if got < 40 || got > 80 {
+		t.Fatalf("NVDC-Uncached 4K randread = %.0f MB/s, want ~57 (+/-30%%)", got)
+	}
+	if err := s.CheckHealth(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCachedSaturationBelowBaseline(t *testing.T) {
+	// Fig. 9 shape: NVDC-Cached saturates around half the baseline's
+	// plateau because of the driver's serialized section.
+	var plateau float64
+	for _, jobs := range []int{8} {
+		s := mustSystem(t, DefaultConfig())
+		pages := s.Layout.NumSlots * 9 / 10
+		prefillCache(t, s, pages)
+		tgt := s.NewFioTarget()
+		tgt.SetWalkFootprint(15 << 30)
+		res, err := fio.Run(tgt, fio.Job{
+			Pattern: fio.RandRead, BlockSize: PageSize, NumJobs: jobs,
+			FileSize: int64(pages) * PageSize, OpsPerThread: 400, WarmupOps: 50,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		plateau = res.BandwidthMBps()
+	}
+	// Paper: 4341 MB/s at 8 threads.
+	if plateau < 3300 || plateau > 5600 {
+		t.Fatalf("NVDC-Cached 8-thread plateau = %.0f MB/s, want ~4341 (+/-25%%)", plateau)
+	}
+}
+
+func TestSmallAccessAdvantage(t *testing.T) {
+	// Fig. 10: at 128 B, NVDC-Cached beats the baseline (paper: 1.15x)
+	// because the smaller mapped footprint makes page walks cheaper.
+	s := mustSystem(t, DefaultConfig())
+	pages := s.Layout.NumSlots * 9 / 10
+	prefillCache(t, s, pages)
+	tgt := s.NewFioTarget()
+	tgt.SetWalkFootprint(15 << 30)
+	res, err := fio.Run(tgt, fio.Job{
+		Pattern: fio.RandRead, BlockSize: 128, NumJobs: 1,
+		FileSize: int64(pages) * PageSize, OpsPerThread: 2000, WarmupOps: 100,
+		Align: PageSize,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nvdcKIOPS := res.KIOPS()
+	// Paper: 2147 KIOPS NVDC vs ~1867 baseline.
+	if nvdcKIOPS < 1700 || nvdcKIOPS > 2700 {
+		t.Fatalf("NVDC 128B = %.0f KIOPS, want ~2147 (+/-20%%)", nvdcKIOPS)
+	}
+}

@@ -1,0 +1,167 @@
+// Package cp defines the communication protocol between the nvdc driver and
+// the NVMC firmware (§IV-C): a 64-bit command word written into the first
+// 4 KB physical page of the reserved region (the CP area), and an
+// acknowledgment word the FPGA writes back when the command completes.
+//
+// A command has four bit-fields: Phase (distinguishes a new command from a
+// stale one the FPGA has already seen), Opcode (cachefill or writeback),
+// DRAM_Slot_ID and NAND_Page_ID. Multi-command operation is not supported by
+// the PoC (queue depth 1); the CommandDepth knob exists for the future-work
+// ablation (§VII-C item 2).
+package cp
+
+import "fmt"
+
+// Opcode selects the operation the NVMC performs.
+type Opcode uint8
+
+// Opcodes (§IV-C).
+const (
+	OpNone Opcode = iota
+	// OpCachefill loads a NAND page into a DRAM cache slot.
+	OpCachefill
+	// OpWriteback stores a DRAM cache slot into a NAND page.
+	OpWriteback
+	// OpFlushAll orders a power-fail flush of all dirty slots (the firmware
+	// normally triggers this itself on the power-loss interrupt; the opcode
+	// lets software request it for orderly shutdown).
+	OpFlushAll
+	// OpCombined merges an independent writeback and cachefill into a single
+	// command so the device processes them in parallel (future work (4)).
+	OpCombined
+)
+
+func (o Opcode) String() string {
+	switch o {
+	case OpNone:
+		return "none"
+	case OpCachefill:
+		return "cachefill"
+	case OpWriteback:
+		return "writeback"
+	case OpFlushAll:
+		return "flushall"
+	case OpCombined:
+		return "wb+cf"
+	default:
+		return fmt.Sprintf("Opcode(%d)", uint8(o))
+	}
+}
+
+// Command is the decoded 64-bit CP command word.
+//
+// Bit layout (LSB first):
+//
+//	[0]      Phase
+//	[7:1]    Opcode
+//	[31:8]   DRAMSlot  (24 bits: enough for 16 GB of 4 KB slots)
+//	[63:32]  NANDPage  (32 bits: enough for 16 TB of 4 KB pages)
+//
+// For OpCombined, DRAMSlot/NANDPage describe the cachefill and the second
+// pair describes the writeback; the second pair rides in the adjacent
+// cacheline of the CP area and is carried alongside here for convenience.
+type Command struct {
+	Phase    bool
+	Opcode   Opcode
+	DRAMSlot uint32 // 24 bits used
+	NANDPage uint32
+
+	// Secondary pair for OpCombined.
+	DRAMSlot2 uint32
+	NANDPage2 uint32
+}
+
+// Encode packs the primary fields into the 64-bit command word.
+func (c Command) Encode() uint64 {
+	var w uint64
+	if c.Phase {
+		w |= 1
+	}
+	w |= uint64(c.Opcode&0x7F) << 1
+	w |= uint64(c.DRAMSlot&0xFFFFFF) << 8
+	w |= uint64(c.NANDPage) << 32
+	return w
+}
+
+// EncodeSecondary packs the OpCombined secondary pair into its word.
+func (c Command) EncodeSecondary() uint64 {
+	return uint64(c.DRAMSlot2&0xFFFFFF)<<8 | uint64(c.NANDPage2)<<32
+}
+
+// Decode unpacks a command word (and an optional secondary word).
+func Decode(w, secondary uint64) Command {
+	return Command{
+		Phase:     w&1 != 0,
+		Opcode:    Opcode((w >> 1) & 0x7F),
+		DRAMSlot:  uint32((w >> 8) & 0xFFFFFF),
+		NANDPage:  uint32(w >> 32),
+		DRAMSlot2: uint32((secondary >> 8) & 0xFFFFFF),
+		NANDPage2: uint32(secondary >> 32),
+	}
+}
+
+func (c Command) String() string {
+	return fmt.Sprintf("cp{phase=%t op=%v slot=%d page=%d}", c.Phase, c.Opcode, c.DRAMSlot, c.NANDPage)
+}
+
+// Status is the FPGA's acknowledgment word.
+type Status uint8
+
+// Acknowledgment states.
+const (
+	StatusIdle Status = iota
+	StatusBusy
+	StatusDone
+	StatusError
+)
+
+func (s Status) String() string {
+	switch s {
+	case StatusIdle:
+		return "idle"
+	case StatusBusy:
+		return "busy"
+	case StatusDone:
+		return "done"
+	case StatusError:
+		return "error"
+	default:
+		return fmt.Sprintf("Status(%d)", uint8(s))
+	}
+}
+
+// Ack is the acknowledgment record the FPGA writes into the CP area's ack
+// region after finishing a command.
+type Ack struct {
+	Phase  bool // echoes the command phase so the driver can match
+	Status Status
+}
+
+// EncodeAck packs an Ack into its word.
+func (a Ack) EncodeAck() uint64 {
+	var w uint64
+	if a.Phase {
+		w |= 1
+	}
+	w |= uint64(a.Status) << 1
+	return w
+}
+
+// DecodeAck unpacks an acknowledgment word.
+func DecodeAck(w uint64) Ack {
+	return Ack{Phase: w&1 != 0, Status: Status((w >> 1) & 0x7F)}
+}
+
+// Area layout constants within the reserved region's first 4 KB page
+// (Fig. 5). Commands and acks each occupy one 64-byte cacheline so that a
+// single clflush covers them.
+const (
+	// AreaSize is the CP area size: one physical page.
+	AreaSize = 4096
+	// CommandOffset is the byte offset of the command word.
+	CommandOffset = 0
+	// CommandOffset2 is the secondary word for OpCombined.
+	CommandOffset2 = 8
+	// AckOffset is the byte offset of the acknowledgment cacheline.
+	AckOffset = 64
+)

@@ -1,0 +1,96 @@
+package cp
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCommandRoundTrip(t *testing.T) {
+	c := Command{Phase: true, Opcode: OpWriteback, DRAMSlot: 0xABCDE, NANDPage: 0xDEADBEEF}
+	got := Decode(c.Encode(), 0)
+	if got.Phase != c.Phase || got.Opcode != c.Opcode || got.DRAMSlot != c.DRAMSlot || got.NANDPage != c.NANDPage {
+		t.Fatalf("round trip: got %+v want %+v", got, c)
+	}
+}
+
+func TestCombinedRoundTrip(t *testing.T) {
+	c := Command{
+		Phase: true, Opcode: OpCombined,
+		DRAMSlot: 1, NANDPage: 2, DRAMSlot2: 3, NANDPage2: 4,
+	}
+	got := Decode(c.Encode(), c.EncodeSecondary())
+	if got.DRAMSlot2 != 3 || got.NANDPage2 != 4 {
+		t.Fatalf("secondary pair lost: %+v", got)
+	}
+}
+
+func TestCommandRoundTripProperty(t *testing.T) {
+	f := func(phase bool, op uint8, slot, page, slot2, page2 uint32) bool {
+		c := Command{
+			Phase:     phase,
+			Opcode:    Opcode(op & 0x7F),
+			DRAMSlot:  slot & 0xFFFFFF,
+			NANDPage:  page,
+			DRAMSlot2: slot2 & 0xFFFFFF,
+			NANDPage2: page2,
+		}
+		got := Decode(c.Encode(), c.EncodeSecondary())
+		return got == c
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSlotFieldWidth(t *testing.T) {
+	// 24-bit slot field: a 16 GB cache has 4 Mi slots, needing 22 bits.
+	slots16GB := uint32(16 << 30 / 4096)
+	c := Command{DRAMSlot: slots16GB - 1}
+	if Decode(c.Encode(), 0).DRAMSlot != slots16GB-1 {
+		t.Fatal("slot field cannot address a 16 GB cache")
+	}
+}
+
+func TestAckRoundTrip(t *testing.T) {
+	for _, s := range []Status{StatusIdle, StatusBusy, StatusDone, StatusError} {
+		for _, p := range []bool{false, true} {
+			a := Ack{Phase: p, Status: s}
+			if got := DecodeAck(a.EncodeAck()); got != a {
+				t.Fatalf("ack round trip: got %+v want %+v", got, a)
+			}
+		}
+	}
+}
+
+func TestPhaseFlipDistinguishesCommands(t *testing.T) {
+	a := Command{Phase: false, Opcode: OpCachefill, DRAMSlot: 1, NANDPage: 1}
+	b := a
+	b.Phase = true
+	if a.Encode() == b.Encode() {
+		t.Fatal("phase flip not visible in encoding")
+	}
+}
+
+func TestStrings(t *testing.T) {
+	if OpCachefill.String() != "cachefill" || OpWriteback.String() != "writeback" {
+		t.Fatal("opcode strings")
+	}
+	if StatusDone.String() != "done" {
+		t.Fatal("status strings")
+	}
+	c := Command{Phase: true, Opcode: OpCachefill, DRAMSlot: 5, NANDPage: 9}
+	if c.String() != "cp{phase=true op=cachefill slot=5 page=9}" {
+		t.Fatalf("command string = %q", c.String())
+	}
+}
+
+func TestAreaLayoutDisjoint(t *testing.T) {
+	// Command and ack cachelines must not share a cacheline: the driver
+	// flushes/invalidates them independently.
+	if CommandOffset/64 == AckOffset/64 {
+		t.Fatal("command and ack share a cacheline")
+	}
+	if AckOffset+8 > AreaSize {
+		t.Fatal("ack outside CP area")
+	}
+}

@@ -1,0 +1,141 @@
+package cp
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// MetaEntry describes one DRAM cache slot in the metadata area's
+// slot-indexed mapping table (Fig. 5, §IV-C). On power failure the firmware
+// reads this table directly — ignoring the tRFC serialization rule — to
+// flush valid dirty DRAM cache pages into Z-NAND (§V-C), so the format is
+// part of the driver/firmware contract.
+//
+// Entries are packed to 4 bytes so the paper's 16 MB metadata area covers
+// the ~3.9 Mi slots of a 15 GB cache: bit 31 = valid, bit 30 = dirty,
+// bits 29:0 = NAND logical page (30 bits of 4 KB pages = 4 TB of media).
+type MetaEntry struct {
+	NANDPage uint32 // 30 bits used
+	Dirty    bool
+	Valid    bool
+}
+
+const (
+	metaMagic      = uint32(0x4E564443) // "NVDC"
+	metaHeaderSize = 16
+	metaEntrySize  = 4
+
+	validBit = uint32(1) << 31
+	dirtyBit = uint32(1) << 30
+	pageMask = dirtyBit - 1
+)
+
+// MaxMetaEntries returns how many slot entries fit in a metadata area of n
+// bytes.
+func MaxMetaEntries(n int64) int {
+	if n < metaHeaderSize {
+		return 0
+	}
+	return int((n - metaHeaderSize) / metaEntrySize)
+}
+
+// MetaSizeFor returns the metadata area size needed for n slots.
+func MetaSizeFor(n int) int64 {
+	return metaHeaderSize + int64(n)*metaEntrySize
+}
+
+// EncodeMeta serializes the slot-indexed table into buf.
+func EncodeMeta(buf []byte, entries []MetaEntry) error {
+	need := MetaSizeFor(len(entries))
+	if int64(len(buf)) < need {
+		return fmt.Errorf("cp: metadata buffer %d < %d", len(buf), need)
+	}
+	binary.LittleEndian.PutUint32(buf[0:], metaMagic)
+	binary.LittleEndian.PutUint32(buf[4:], uint32(len(entries)))
+	binary.LittleEndian.PutUint64(buf[8:], checksum(entries))
+	off := metaHeaderSize
+	for _, e := range entries {
+		binary.LittleEndian.PutUint32(buf[off:], e.pack())
+		off += metaEntrySize
+	}
+	return nil
+}
+
+func (e MetaEntry) pack() uint32 {
+	w := e.NANDPage & pageMask
+	if e.Dirty {
+		w |= dirtyBit
+	}
+	if e.Valid {
+		w |= validBit
+	}
+	return w
+}
+
+func unpack(w uint32) MetaEntry {
+	return MetaEntry{
+		NANDPage: w & pageMask,
+		Dirty:    w&dirtyBit != 0,
+		Valid:    w&validBit != 0,
+	}
+}
+
+// EncodeMetaEntry writes just slot i's entry bytes (an in-place update the
+// driver performs on each mapping change; the header must be rewritten too
+// for the checksum — see EncodeMetaHeader).
+func EncodeMetaEntry(buf []byte, i int, e MetaEntry) error {
+	off := metaHeaderSize + int64(i)*metaEntrySize
+	if off+metaEntrySize > int64(len(buf)) {
+		return fmt.Errorf("cp: entry %d outside metadata area", i)
+	}
+	binary.LittleEndian.PutUint32(buf[off:], e.pack())
+	return nil
+}
+
+// EncodeMetaHeader rewrites the header for the given (full, authoritative)
+// entry table.
+func EncodeMetaHeader(buf []byte, entries []MetaEntry) error {
+	if len(buf) < metaHeaderSize {
+		return fmt.Errorf("cp: metadata buffer too small for header")
+	}
+	binary.LittleEndian.PutUint32(buf[0:], metaMagic)
+	binary.LittleEndian.PutUint32(buf[4:], uint32(len(entries)))
+	binary.LittleEndian.PutUint64(buf[8:], checksum(entries))
+	return nil
+}
+
+// DecodeMeta parses a metadata area. It verifies the magic and checksum so a
+// torn or never-written table is detected rather than replayed.
+func DecodeMeta(buf []byte) ([]MetaEntry, error) {
+	if len(buf) < metaHeaderSize {
+		return nil, fmt.Errorf("cp: metadata area %d bytes too small", len(buf))
+	}
+	if binary.LittleEndian.Uint32(buf[0:]) != metaMagic {
+		return nil, fmt.Errorf("cp: metadata magic missing")
+	}
+	n := int(binary.LittleEndian.Uint32(buf[4:]))
+	want := binary.LittleEndian.Uint64(buf[8:])
+	if MetaSizeFor(n) > int64(len(buf)) {
+		return nil, fmt.Errorf("cp: metadata claims %d entries beyond area", n)
+	}
+	entries := make([]MetaEntry, n)
+	off := metaHeaderSize
+	for i := range entries {
+		entries[i] = unpack(binary.LittleEndian.Uint32(buf[off:]))
+		off += metaEntrySize
+	}
+	if checksum(entries) != want {
+		return nil, fmt.Errorf("cp: metadata checksum mismatch (torn write?)")
+	}
+	return entries, nil
+}
+
+// checksum is an order-sensitive FNV-style fold over the packed entries.
+func checksum(entries []MetaEntry) uint64 {
+	h := uint64(1469598103934665603)
+	for _, e := range entries {
+		h ^= uint64(e.pack())
+		h *= 1099511628211
+	}
+	return h
+}

@@ -1,0 +1,136 @@
+package cp
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMetaRoundTrip(t *testing.T) {
+	entries := []MetaEntry{
+		{NANDPage: 100, Dirty: true, Valid: true},
+		{NANDPage: 200, Dirty: false, Valid: true},
+		{NANDPage: 0, Dirty: false, Valid: false},
+	}
+	buf := make([]byte, 4096)
+	if err := EncodeMeta(buf, entries); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeMeta(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(entries) {
+		t.Fatalf("decoded %d entries, want %d", len(got), len(entries))
+	}
+	for i := range got {
+		if got[i] != entries[i] {
+			t.Fatalf("entry %d: got %+v want %+v", i, got[i], entries[i])
+		}
+	}
+}
+
+func TestMetaDetectsUninitialized(t *testing.T) {
+	if _, err := DecodeMeta(make([]byte, 4096)); err == nil {
+		t.Fatal("zeroed metadata accepted")
+	}
+}
+
+func TestMetaDetectsCorruption(t *testing.T) {
+	buf := make([]byte, 4096)
+	if err := EncodeMeta(buf, []MetaEntry{{NANDPage: 9, Valid: true}}); err != nil {
+		t.Fatal(err)
+	}
+	buf[metaHeaderSize] ^= 0xFF
+	if _, err := DecodeMeta(buf); err == nil {
+		t.Fatal("corrupted metadata accepted")
+	}
+}
+
+func TestMetaBufferTooSmall(t *testing.T) {
+	if err := EncodeMeta(make([]byte, 10), make([]MetaEntry, 4)); err == nil {
+		t.Fatal("tiny buffer accepted")
+	}
+	if _, err := DecodeMeta(make([]byte, 4)); err == nil {
+		t.Fatal("tiny decode accepted")
+	}
+}
+
+func TestMaxMetaEntries(t *testing.T) {
+	// The paper's 16 MB metadata area must cover the ~3.9 Mi slots of the
+	// PoC's 15 GB cache (§IV-B, §V-C).
+	if got := MaxMetaEntries(16 << 20); got < (15<<30)/4096 {
+		t.Fatalf("16 MB metadata holds only %d entries, need %d", got, (15<<30)/4096)
+	}
+	if MaxMetaEntries(4) != 0 {
+		t.Fatal("tiny area reports entries")
+	}
+}
+
+func TestIncrementalUpdateMatchesFullEncode(t *testing.T) {
+	entries := make([]MetaEntry, 32)
+	full := make([]byte, MetaSizeFor(len(entries)))
+	inc := make([]byte, MetaSizeFor(len(entries)))
+	if err := EncodeMeta(full, entries); err != nil {
+		t.Fatal(err)
+	}
+	copy(inc, full)
+	// Mutate entry 7 both ways.
+	entries[7] = MetaEntry{NANDPage: 1234, Dirty: true, Valid: true}
+	if err := EncodeMeta(full, entries); err != nil {
+		t.Fatal(err)
+	}
+	if err := EncodeMetaEntry(inc, 7, entries[7]); err != nil {
+		t.Fatal(err)
+	}
+	if err := EncodeMetaHeader(inc, entries); err != nil {
+		t.Fatal(err)
+	}
+	for i := range full {
+		if full[i] != inc[i] {
+			t.Fatalf("byte %d differs between full and incremental encode", i)
+		}
+	}
+	if _, err := DecodeMeta(inc); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEncodeMetaEntryBounds(t *testing.T) {
+	buf := make([]byte, MetaSizeFor(2))
+	if err := EncodeMetaEntry(buf, 2, MetaEntry{}); err == nil {
+		t.Fatal("out-of-range entry accepted")
+	}
+}
+
+func TestMetaRoundTripProperty(t *testing.T) {
+	f := func(raw []uint32) bool {
+		if len(raw) > 500 {
+			raw = raw[:500]
+		}
+		entries := make([]MetaEntry, len(raw))
+		for i, v := range raw {
+			entries[i] = MetaEntry{
+				NANDPage: v & pageMask,
+				Dirty:    v&1 != 0,
+				Valid:    v&2 != 0,
+			}
+		}
+		buf := make([]byte, MetaSizeFor(len(entries)))
+		if err := EncodeMeta(buf, entries); err != nil {
+			return false
+		}
+		got, err := DecodeMeta(buf)
+		if err != nil || len(got) != len(entries) {
+			return false
+		}
+		for i := range got {
+			if got[i] != entries[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

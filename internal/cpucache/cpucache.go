@@ -1,0 +1,267 @@
+// Package cpucache models the host CPU's cache hierarchy as one write-back
+// cache over the physical address space, at cacheline (64 B) granularity.
+//
+// Its purpose is the cache-coherence hazard of §V-B: data the FPGA moves
+// into the DRAM during tRFC windows is invisible to the CPU caches, so a
+// stale cached line can shadow fresh FPGA data, and a dirty CPU line can be
+// evicted over it later. The nvdc driver must clflush+sfence before asking
+// the NVMC to read DRAM, and invalidate after the NVMC writes DRAM. The
+// model is functional (no timing — the performance models account for cache
+// behaviour in their per-op costs) but byte-accurate, so coherence bugs
+// corrupt real data that end-to-end validation catches.
+package cpucache
+
+import (
+	"fmt"
+)
+
+// LineSize is the cacheline size in bytes.
+const LineSize = 64
+
+// Backing is the memory behind the cache (the DRAM device model).
+type Backing interface {
+	CopyIn(addr int64, data []byte) error
+	CopyOut(addr int64, buf []byte) error
+}
+
+type line struct {
+	addr  int64 // line-aligned
+	data  [LineSize]byte
+	dirty bool
+	// prev/next for LRU list.
+	prev, next *line
+}
+
+// Stats aggregates cache behaviour.
+type Stats struct {
+	Hits, Misses    uint64
+	Evictions       uint64
+	DirtyWritebacks uint64
+	Flushes         uint64
+	Invalidations   uint64
+	Fences          uint64
+}
+
+// Cache is a write-back, write-allocate cache with LRU replacement.
+type Cache struct {
+	backing  Backing
+	capacity int // max lines
+	lines    map[int64]*line
+	// LRU list: head = most recent, tail = least recent.
+	head, tail *line
+	stats      Stats
+}
+
+// New returns a cache holding capacityBytes of data (rounded down to whole
+// lines; minimum one line).
+func New(backing Backing, capacityBytes int) *Cache {
+	capLines := capacityBytes / LineSize
+	if capLines < 1 {
+		capLines = 1
+	}
+	return &Cache{
+		backing:  backing,
+		capacity: capLines,
+		lines:    make(map[int64]*line),
+	}
+}
+
+// Stats returns a copy of the counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// Len reports resident lines.
+func (c *Cache) Len() int { return len(c.lines) }
+
+func (c *Cache) touch(l *line) {
+	if c.head == l {
+		return
+	}
+	// unlink
+	if l.prev != nil {
+		l.prev.next = l.next
+	}
+	if l.next != nil {
+		l.next.prev = l.prev
+	}
+	if c.tail == l {
+		c.tail = l.prev
+	}
+	// push front
+	l.prev = nil
+	l.next = c.head
+	if c.head != nil {
+		c.head.prev = l
+	}
+	c.head = l
+	if c.tail == nil {
+		c.tail = l
+	}
+}
+
+func (c *Cache) unlink(l *line) {
+	if l.prev != nil {
+		l.prev.next = l.next
+	} else if c.head == l {
+		c.head = l.next
+	}
+	if l.next != nil {
+		l.next.prev = l.prev
+	} else if c.tail == l {
+		c.tail = l.prev
+	}
+	l.prev, l.next = nil, nil
+}
+
+func (c *Cache) evictIfFull() error {
+	for len(c.lines) >= c.capacity {
+		victim := c.tail
+		if victim == nil {
+			return fmt.Errorf("cpucache: no victim despite %d lines", len(c.lines))
+		}
+		if victim.dirty {
+			// The §V-B hazard: this writeback can clobber DRAM contents the
+			// FPGA changed after we cached the line.
+			if err := c.backing.CopyIn(victim.addr, victim.data[:]); err != nil {
+				return err
+			}
+			c.stats.DirtyWritebacks++
+		}
+		c.unlink(victim)
+		delete(c.lines, victim.addr)
+		c.stats.Evictions++
+	}
+	return nil
+}
+
+func (c *Cache) fill(lineAddr int64) (*line, error) {
+	if l, ok := c.lines[lineAddr]; ok {
+		c.stats.Hits++
+		c.touch(l)
+		return l, nil
+	}
+	c.stats.Misses++
+	if err := c.evictIfFull(); err != nil {
+		return nil, err
+	}
+	l := &line{addr: lineAddr}
+	if err := c.backing.CopyOut(lineAddr, l.data[:]); err != nil {
+		return nil, err
+	}
+	c.lines[lineAddr] = l
+	c.touch(l)
+	return l, nil
+}
+
+// Load reads len(buf) bytes at addr through the cache.
+func (c *Cache) Load(addr int64, buf []byte) error {
+	for len(buf) > 0 {
+		la := addr &^ (LineSize - 1)
+		off := int(addr - la)
+		l, err := c.fill(la)
+		if err != nil {
+			return err
+		}
+		n := copy(buf, l.data[off:])
+		buf = buf[n:]
+		addr += int64(n)
+	}
+	return nil
+}
+
+// Store writes data at addr through the cache (write-allocate, write-back).
+func (c *Cache) Store(addr int64, data []byte) error {
+	for len(data) > 0 {
+		la := addr &^ (LineSize - 1)
+		off := int(addr - la)
+		l, err := c.fill(la)
+		if err != nil {
+			return err
+		}
+		n := copy(l.data[off:], data)
+		l.dirty = true
+		data = data[n:]
+		addr += int64(n)
+	}
+	return nil
+}
+
+// Clflush writes back (if dirty) and invalidates every cacheline overlapping
+// [addr, addr+n). This is the instruction the nvdc driver issues before
+// requesting a writeback (§V-B).
+func (c *Cache) Clflush(addr int64, n int) error {
+	end := addr + int64(n)
+	for la := addr &^ (LineSize - 1); la < end; la += LineSize {
+		l, ok := c.lines[la]
+		if !ok {
+			continue
+		}
+		c.stats.Flushes++
+		if l.dirty {
+			if err := c.backing.CopyIn(la, l.data[:]); err != nil {
+				return err
+			}
+			c.stats.DirtyWritebacks++
+		}
+		c.unlink(l)
+		delete(c.lines, la)
+	}
+	return nil
+}
+
+// Invalidate drops cachelines overlapping [addr, addr+n) WITHOUT writing
+// dirty data back. The driver uses it after a cachefill so subsequent loads
+// observe the FPGA's fresh data. (On x86 this is clflush of lines known
+// clean, or wbinvd-style management; the distinction matters for the
+// incoherence experiments.)
+func (c *Cache) Invalidate(addr int64, n int) {
+	end := addr + int64(n)
+	for la := addr &^ (LineSize - 1); la < end; la += LineSize {
+		if l, ok := c.lines[la]; ok {
+			c.unlink(l)
+			delete(c.lines, la)
+			c.stats.Invalidations++
+		}
+	}
+}
+
+// SFence orders preceding stores/flushes. The functional model is already
+// sequentially consistent; the call is counted so tests can assert the
+// driver's flush+fence discipline.
+func (c *Cache) SFence() { c.stats.Fences++ }
+
+// FlushAll writes back and invalidates everything (used at orderly
+// shutdown).
+func (c *Cache) FlushAll() error {
+	for la, l := range c.lines {
+		if l.dirty {
+			if err := c.backing.CopyIn(la, l.data[:]); err != nil {
+				return err
+			}
+			c.stats.DirtyWritebacks++
+		}
+		c.unlink(l)
+		delete(c.lines, la)
+		c.stats.Flushes++
+	}
+	return nil
+}
+
+// StaleLines compares every resident clean line with backing memory and
+// returns how many differ — the §V-B incoherence observable. Dirty lines are
+// not counted (the CPU legitimately holds newer data for those).
+func (c *Cache) StaleLines() (int, error) {
+	stale := 0
+	var buf [LineSize]byte
+	for la, l := range c.lines {
+		if l.dirty {
+			continue
+		}
+		if err := c.backing.CopyOut(la, buf[:]); err != nil {
+			return 0, err
+		}
+		if buf != l.data {
+			stale++
+		}
+	}
+	return stale, nil
+}

@@ -1,0 +1,219 @@
+package cpucache
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+// flatMem is a simple Backing for tests.
+type flatMem struct{ b []byte }
+
+func newFlat(n int) *flatMem { return &flatMem{b: make([]byte, n)} }
+
+func (m *flatMem) CopyIn(addr int64, data []byte) error {
+	copy(m.b[addr:], data)
+	return nil
+}
+func (m *flatMem) CopyOut(addr int64, buf []byte) error {
+	copy(buf, m.b[addr:])
+	return nil
+}
+
+func TestLoadStoreRoundTrip(t *testing.T) {
+	mem := newFlat(1 << 16)
+	c := New(mem, 4096)
+	msg := []byte("coherence is hard")
+	if err := c.Store(1000, msg); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(msg))
+	if err := c.Load(1000, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatal("round trip mismatch")
+	}
+	// Write-back: backing memory must NOT yet have the data (lines dirty).
+	if bytes.Contains(mem.b[960:1100], []byte("coherence")) {
+		t.Fatal("store wrote through to backing")
+	}
+}
+
+func TestClflushWritesBack(t *testing.T) {
+	mem := newFlat(1 << 16)
+	c := New(mem, 4096)
+	msg := []byte("flush me")
+	c.Store(128, msg)
+	if err := c.Clflush(128, len(msg)); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(mem.b[128:128+len(msg)], msg) {
+		t.Fatal("clflush did not write back")
+	}
+	if c.Len() != 0 {
+		t.Fatalf("lines resident after flush: %d", c.Len())
+	}
+}
+
+func TestInvalidateDropsDirtyData(t *testing.T) {
+	mem := newFlat(1 << 16)
+	c := New(mem, 4096)
+	c.Store(0, []byte{0xAA})
+	c.Invalidate(0, 64)
+	var got [1]byte
+	c.Load(0, got[:])
+	if got[0] != 0 {
+		t.Fatal("invalidate kept dirty data")
+	}
+}
+
+func TestStaleLineDetection(t *testing.T) {
+	mem := newFlat(1 << 16)
+	c := New(mem, 4096)
+	// CPU caches a clean line.
+	buf := make([]byte, 64)
+	c.Load(512, buf)
+	// "FPGA" changes backing behind the cache's back (tRFC window write).
+	mem.b[512] = 0x77
+	stale, err := c.StaleLines()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stale != 1 {
+		t.Fatalf("stale lines = %d, want 1", stale)
+	}
+	// After invalidate, loads see fresh data and staleness clears.
+	c.Invalidate(512, 64)
+	c.Load(512, buf)
+	if buf[0] != 0x77 {
+		t.Fatal("load after invalidate returned stale data")
+	}
+	stale, _ = c.StaleLines()
+	if stale != 0 {
+		t.Fatalf("stale lines after invalidate = %d", stale)
+	}
+}
+
+func TestDirtyEvictionClobbersFPGAData(t *testing.T) {
+	// Reproduce the §V-B hazard end-to-end: CPU dirties a line, FPGA then
+	// updates the same DRAM region, CPU eviction overwrites it.
+	mem := newFlat(1 << 16)
+	c := New(mem, 2*64)      // tiny: 2 lines
+	c.Store(0, []byte{0x01}) // dirty line @0
+	mem.b[0] = 0x99          // FPGA writes fresh data
+	c.Load(64, make([]byte, 1))
+	c.Load(128, make([]byte, 1)) // forces eviction of line @0
+	if mem.b[0] != 0x01 {
+		t.Fatalf("expected stale CPU writeback to clobber FPGA data; mem=%#x", mem.b[0])
+	}
+	if c.Stats().DirtyWritebacks == 0 {
+		t.Fatal("no dirty writeback recorded")
+	}
+}
+
+func TestLRUEvictionOrder(t *testing.T) {
+	mem := newFlat(1 << 16)
+	c := New(mem, 3*64)
+	c.Load(0, make([]byte, 1))
+	c.Load(64, make([]byte, 1))
+	c.Load(128, make([]byte, 1))
+	c.Load(0, make([]byte, 1))   // refresh line 0
+	c.Load(192, make([]byte, 1)) // evicts line 64 (LRU)
+	if _, ok := c.lines[64]; ok {
+		t.Fatal("LRU victim not evicted")
+	}
+	if _, ok := c.lines[0]; !ok {
+		t.Fatal("recently used line evicted")
+	}
+}
+
+func TestHitMissAccounting(t *testing.T) {
+	mem := newFlat(1 << 16)
+	c := New(mem, 4096)
+	c.Load(0, make([]byte, 64))
+	c.Load(0, make([]byte, 64))
+	st := c.Stats()
+	if st.Misses != 1 || st.Hits != 1 {
+		t.Fatalf("hits=%d misses=%d, want 1/1", st.Hits, st.Misses)
+	}
+}
+
+func TestCrossLineAccess(t *testing.T) {
+	mem := newFlat(1 << 16)
+	c := New(mem, 8192)
+	data := make([]byte, 300) // spans 5-6 lines, unaligned
+	for i := range data {
+		data[i] = byte(i)
+	}
+	c.Store(60, data)
+	got := make([]byte, len(data))
+	c.Load(60, got)
+	if !bytes.Equal(got, data) {
+		t.Fatal("cross-line store/load mismatch")
+	}
+}
+
+func TestFlushAll(t *testing.T) {
+	mem := newFlat(1 << 16)
+	c := New(mem, 8192)
+	c.Store(0, []byte{1})
+	c.Store(1024, []byte{2})
+	if err := c.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	if mem.b[0] != 1 || mem.b[1024] != 2 {
+		t.Fatal("FlushAll lost dirty data")
+	}
+	if c.Len() != 0 {
+		t.Fatal("lines resident after FlushAll")
+	}
+}
+
+func TestSFenceCounted(t *testing.T) {
+	c := New(newFlat(64), 64)
+	c.SFence()
+	c.SFence()
+	if c.Stats().Fences != 2 {
+		t.Fatal("fences not counted")
+	}
+}
+
+// Property: a cache over flat memory behaves exactly like the flat memory
+// for any interleaving of loads, stores and flushes.
+func TestCacheTransparencyProperty(t *testing.T) {
+	type op struct {
+		Kind byte
+		Addr uint16
+		Data byte
+	}
+	f := func(ops []op) bool {
+		mem := newFlat(1 << 16)
+		ref := make([]byte, 1<<16)
+		c := New(mem, 1024) // small: lots of evictions
+		for _, o := range ops {
+			addr := int64(o.Addr)
+			switch o.Kind % 4 {
+			case 0, 1:
+				c.Store(addr, []byte{o.Data})
+				ref[addr] = o.Data
+			case 2:
+				var got [1]byte
+				c.Load(addr, got[:])
+				if got[0] != ref[addr] {
+					return false
+				}
+			case 3:
+				c.Clflush(addr, 1)
+			}
+		}
+		// Drain and compare everything touched.
+		if err := c.FlushAll(); err != nil {
+			return false
+		}
+		return bytes.Equal(mem.b, ref)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,176 @@
+package ddr4
+
+import "fmt"
+
+// CommandKind enumerates the DDR4 commands the models issue and decode.
+type CommandKind int
+
+// DDR4 command set (truth-table subset relevant to NVDIMM-C).
+const (
+	CmdDeselect CommandKind = iota // CS_n high: no command
+	CmdNOP
+	CmdActivate  // open a row
+	CmdRead      // CAS read, BL8
+	CmdWrite     // CAS write, BL8
+	CmdPrecharge // close one bank's row
+	CmdPrechargeAll
+	CmdRefresh // REF: all-bank refresh, bus dead for tRFC
+	CmdSelfRefreshEntry
+	CmdSelfRefreshExit
+	CmdZQCal
+	CmdMRS // mode register set
+)
+
+var commandNames = map[CommandKind]string{
+	CmdDeselect:         "DES",
+	CmdNOP:              "NOP",
+	CmdActivate:         "ACT",
+	CmdRead:             "RD",
+	CmdWrite:            "WR",
+	CmdPrecharge:        "PRE",
+	CmdPrechargeAll:     "PREA",
+	CmdRefresh:          "REF",
+	CmdSelfRefreshEntry: "SRE",
+	CmdSelfRefreshExit:  "SRX",
+	CmdZQCal:            "ZQ",
+	CmdMRS:              "MRS",
+}
+
+func (c CommandKind) String() string {
+	if s, ok := commandNames[c]; ok {
+		return s
+	}
+	return fmt.Sprintf("CommandKind(%d)", int(c))
+}
+
+// Command is a decoded DDR4 command with its target coordinates.
+type Command struct {
+	Kind CommandKind
+	Bank int
+	Row  int
+	Col  int
+	// AutoPrecharge marks RD/WR with auto-precharge (A10 high).
+	AutoPrecharge bool
+}
+
+func (c Command) String() string {
+	switch c.Kind {
+	case CmdActivate:
+		return fmt.Sprintf("ACT b%d r%d", c.Bank, c.Row)
+	case CmdRead, CmdWrite:
+		ap := ""
+		if c.AutoPrecharge {
+			ap = "A"
+		}
+		return fmt.Sprintf("%s%s b%d c%d", c.Kind, ap, c.Bank, c.Col)
+	case CmdPrecharge:
+		return fmt.Sprintf("PRE b%d", c.Bank)
+	default:
+		return c.Kind.String()
+	}
+}
+
+// CAState is the sampled logic level of the six command/address pins the
+// NVDIMM-C board forwards to the FPGA (Fig. 4): CKE, CS_n, ACT_n, RAS_n,
+// CAS_n and WE_n. True is the electrical High level.
+type CAState struct {
+	CKE  bool
+	CSn  bool
+	ACTn bool
+	RASn bool
+	CASn bool
+	WEn  bool
+}
+
+// Encode returns the CA pin state that carries cmd on a DDR4 bus, plus the
+// CKE level after the command (self-refresh entry drops CKE). The encoding
+// follows the JEDEC DDR4 command truth table; only the six snooped pins are
+// represented, which is sufficient because, as §IV-A observes, the CA states
+// of all DDR4 commands are mutually exclusive on these pins.
+func Encode(kind CommandKind) CAState {
+	switch kind {
+	case CmdDeselect:
+		return CAState{CKE: true, CSn: true, ACTn: true, RASn: true, CASn: true, WEn: true}
+	case CmdNOP:
+		return CAState{CKE: true, CSn: false, ACTn: true, RASn: true, CASn: true, WEn: true}
+	case CmdActivate:
+		// ACT_n low selects ACTIVATE; RAS/CAS/WE carry row address bits,
+		// modeled here at their "address" dont-care-as-low level.
+		return CAState{CKE: true, CSn: false, ACTn: false, RASn: false, CASn: false, WEn: false}
+	case CmdRead:
+		return CAState{CKE: true, CSn: false, ACTn: true, RASn: true, CASn: false, WEn: true}
+	case CmdWrite:
+		return CAState{CKE: true, CSn: false, ACTn: true, RASn: true, CASn: false, WEn: false}
+	case CmdPrecharge, CmdPrechargeAll:
+		return CAState{CKE: true, CSn: false, ACTn: true, RASn: false, CASn: true, WEn: false}
+	case CmdRefresh:
+		// REF: CKE, ACT_n and WE_n High; CS_n, RAS_n, CAS_n Low (§IV-A).
+		return CAState{CKE: true, CSn: false, ACTn: true, RASn: false, CASn: false, WEn: true}
+	case CmdSelfRefreshEntry:
+		// Same RAS/CAS decode as REF but CKE transitions Low.
+		return CAState{CKE: false, CSn: false, ACTn: true, RASn: false, CASn: false, WEn: true}
+	case CmdSelfRefreshExit:
+		// CKE returning High with CS_n High (NOP/DES on the command pins).
+		return CAState{CKE: true, CSn: true, ACTn: true, RASn: false, CASn: false, WEn: true}
+	case CmdZQCal:
+		return CAState{CKE: true, CSn: false, ACTn: true, RASn: true, CASn: true, WEn: false}
+	case CmdMRS:
+		return CAState{CKE: true, CSn: false, ACTn: true, RASn: false, CASn: false, WEn: false}
+	default:
+		return CAState{CKE: true, CSn: true, ACTn: true, RASn: true, CASn: true, WEn: true}
+	}
+}
+
+// Decode maps a sampled CA state back to a command kind. It is the reference
+// decoder the refresh detector's RTL is tested against. Unknown states decode
+// as deselect.
+func Decode(s CAState) CommandKind {
+	if !s.CKE {
+		// CKE low with a REF decode is self-refresh entry.
+		if !s.CSn && s.ACTn && !s.RASn && !s.CASn && s.WEn {
+			return CmdSelfRefreshEntry
+		}
+		return CmdDeselect
+	}
+	if s.CSn {
+		if s.ACTn && !s.RASn && !s.CASn && s.WEn {
+			return CmdSelfRefreshExit
+		}
+		return CmdDeselect
+	}
+	if !s.ACTn {
+		return CmdActivate
+	}
+	switch {
+	case s.RASn && s.CASn && s.WEn:
+		return CmdNOP
+	case !s.RASn && !s.CASn && s.WEn:
+		return CmdRefresh
+	case !s.RASn && s.CASn && !s.WEn:
+		return CmdPrecharge
+	case s.RASn && !s.CASn && s.WEn:
+		return CmdRead
+	case s.RASn && !s.CASn && !s.WEn:
+		return CmdWrite
+	case s.RASn && s.CASn && !s.WEn:
+		return CmdZQCal
+	case !s.RASn && !s.CASn && !s.WEn:
+		return CmdMRS
+	}
+	return CmdDeselect
+}
+
+// IsRefresh reports whether the CA state is exactly the normal REFRESH
+// encoding: CKE, ACT_n and WE_n High with CS_n, RAS_n and CAS_n Low. This is
+// the predicate the refresh-detector RTL implements; SRE (CKE low) and SRX
+// (CS_n high) must not match.
+func IsRefresh(s CAState) bool {
+	return s.CKE && !s.CSn && s.ACTn && !s.RASn && !s.CASn && s.WEn
+}
+
+// AllCommandKinds lists every kind for exhaustive encode/decode tests.
+var AllCommandKinds = []CommandKind{
+	CmdDeselect, CmdNOP, CmdActivate, CmdRead, CmdWrite, CmdPrecharge,
+	CmdPrechargeAll, CmdRefresh, CmdSelfRefreshEntry, CmdSelfRefreshExit,
+	CmdZQCal, CmdMRS,
+}

@@ -1,0 +1,136 @@
+// Package experiments contains one harness per table and figure of the
+// paper's evaluation (§VI–§VII). Each harness assembles the right scaled
+// system(s), runs the workload, and returns a result struct that carries the
+// paper's reported numbers next to the measured ones; Print renders the
+// side-by-side rows EXPERIMENTS.md records. Absolute magnitudes come from a
+// simulator, so the acceptance criterion everywhere is the *shape*: who
+// wins, by roughly what factor, where the knees fall.
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"nvdimmc/internal/core"
+	"nvdimmc/internal/pmem"
+	"nvdimmc/internal/sim"
+	"nvdimmc/internal/workload/fio"
+)
+
+// PageSize is the 4 KB unit used throughout.
+const PageSize = 4096
+
+// Options control experiment scale.
+type Options struct {
+	// Quick shrinks run lengths for CI; the full runs are the defaults the
+	// committed EXPERIMENTS.md numbers come from.
+	Quick bool
+	// Out receives the printed rows (nil discards).
+	Out io.Writer
+}
+
+func (o Options) out() io.Writer {
+	if o.Out == nil {
+		return io.Discard
+	}
+	return o.Out
+}
+
+func (o Options) pick(full, quick int) int {
+	if o.Quick {
+		return quick
+	}
+	return full
+}
+
+func (o Options) printf(format string, args ...interface{}) {
+	fmt.Fprintf(o.out(), format, args...)
+}
+
+// newBaseline builds the /dev/pmem0 comparator (full-size; storage is
+// sparse).
+func newBaseline() (*pmem.Device, error) {
+	return pmem.New(pmem.DefaultConfig())
+}
+
+// nvdcConfig returns the scaled NVDIMM-C system configuration shared by the
+// fio experiments: 16 MB cache standing in for 16 GB, NAND sized by
+// mediaBlocksPerDie.
+func nvdcConfig(mediaBlocksPerDie int) core.Config {
+	cfg := core.DefaultConfig()
+	if mediaBlocksPerDie > 0 {
+		cfg.NAND.BlocksPerDie = mediaBlocksPerDie
+	}
+	return cfg
+}
+
+// coreSystem builds a system from cfg.
+func coreSystem(cfg core.Config) (*core.System, error) {
+	return core.NewSystem(cfg)
+}
+
+// prefillSlots makes the first pages of the device resident (the
+// NVDC-Cached precondition).
+func prefillSlots(s *core.System, pages int) error {
+	tgt := s.NewFioTarget()
+	_, err := fio.Run(tgt, fio.Job{
+		Pattern: fio.SeqWrite, BlockSize: PageSize, NumJobs: 1,
+		FileSize: int64(pages) * PageSize, OpsPerThread: pages,
+	})
+	return err
+}
+
+// prefillMedia writes every logical NAND page (zero data, deduplicated) so
+// uncached reads exercise real media.
+func prefillMedia(s *core.System) error {
+	zero := make([]byte, PageSize)
+	n := s.FTL.LogicalPages()
+	pending := 0
+	var firstErr error
+	for p := int64(0); p < n; p++ {
+		pending++
+		s.FTL.WritePage(p, zero, func(err error) {
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
+			pending--
+		})
+		if pending >= 512 {
+			if err := s.RunUntil(func() bool { return pending < 64 }, 30*sim.Second); err != nil {
+				return err
+			}
+		}
+	}
+	if err := s.RunUntil(func() bool { return pending == 0 }, 30*sim.Second); err != nil {
+		return err
+	}
+	return firstErr
+}
+
+// Row is one paper-vs-measured line.
+type Row struct {
+	Name     string
+	Paper    float64
+	Measured float64
+	Unit     string
+}
+
+// Ratio returns measured/paper (0 if paper value unknown).
+func (r Row) Ratio() float64 {
+	if r.Paper == 0 {
+		return 0
+	}
+	return r.Measured / r.Paper
+}
+
+func printRows(o Options, title string, rows []Row) {
+	o.printf("== %s ==\n", title)
+	for _, r := range rows {
+		if r.Paper != 0 {
+			o.printf("  %-42s paper %10.1f %-6s measured %10.1f  (x%.2f)\n",
+				r.Name, r.Paper, r.Unit, r.Measured, r.Ratio())
+		} else {
+			o.printf("  %-42s %31s measured %10.1f %s\n", r.Name, "", r.Measured, r.Unit)
+		}
+	}
+}

@@ -1,0 +1,128 @@
+package experiments
+
+import (
+	"fmt"
+
+	"nvdimmc/internal/imdb"
+	"nvdimmc/internal/pmem"
+	"nvdimmc/internal/sim"
+	"nvdimmc/internal/workload/tpch"
+)
+
+// Fig11Result holds the TPC-H-on-IMDB comparison (Fig. 11): per-query
+// execution time on NVDIMM-C normalized to the pmem baseline.
+type Fig11Result struct {
+	// Slowdown[q-1] is time(nvdc)/time(baseline) for query q.
+	Slowdown []float64
+	// Elapsed times for inspection.
+	NVDC, Baseline []sim.Duration
+}
+
+// Paper anchors: Q1 ~3.3x, Q20 ~78x (§VII-B5).
+const (
+	fig11PaperQ1  = 3.3
+	fig11PaperQ20 = 78.0
+)
+
+// Fig11 builds the scaled dataset on both devices and runs the 22 queries
+// back-to-back (power-run style, cache state carrying across queries).
+func Fig11(o Options) (Fig11Result, error) {
+	var res Fig11Result
+
+	// Scale: dataset ≈ 6.25x the DRAM cache, preserving the paper's
+	// 100 GB : 16 GB ratio. Quick mode shrinks both.
+	cacheBytes := int64(o.pick(16<<20, 6<<20))
+	datasetBytes := cacheBytes * 25 / 4
+
+	specs := tpch.Specs()
+	if o.Quick {
+		specs = []tpch.QuerySpec{specs[0], specs[5], specs[19]} // Q1, Q6, Q20
+	}
+
+	// --- NVDIMM-C side ---
+	cfg := nvdcConfig(0)
+	cfg.CacheBytes = cacheBytes
+	// NAND must hold the dataset.
+	for int64(cfg.NAND.Channels*cfg.NAND.DiesPerChan*cfg.NAND.BlocksPerDie*cfg.NAND.PagesPerBlock)*PageSize < datasetBytes*3/2 {
+		cfg.NAND.BlocksPerDie *= 2
+	}
+	s, err := coreSystem(cfg)
+	if err != nil {
+		return res, err
+	}
+	ndb := imdb.New(s, s.K, s.Driver.CapacityPages()*PageSize, imdb.DefaultCost())
+	built := false
+	var buildErr error
+	tpch.BuildDataset(ndb, tpch.Scale{TotalBytes: datasetBytes}, func(err error) {
+		built, buildErr = true, err
+	})
+	if err := s.RunUntil(func() bool { return built }, 3600*sim.Second); err != nil {
+		return res, err
+	}
+	if buildErr != nil {
+		return res, buildErr
+	}
+
+	// --- Baseline side ---
+	bd, err := pmem.New(pmem.DefaultConfig())
+	if err != nil {
+		return res, err
+	}
+	bdb := imdb.New(bd, bd.K, bd.Capacity(), imdb.DefaultCost())
+	built = false
+	tpch.BuildDataset(bdb, tpch.Scale{TotalBytes: datasetBytes}, func(err error) {
+		built, buildErr = true, err
+	})
+	for !built {
+		if !bd.K.Step() {
+			return res, fmt.Errorf("fig11: baseline build stalled")
+		}
+	}
+	if buildErr != nil {
+		return res, buildErr
+	}
+
+	runAll := func(db *imdb.DB, step func() bool, k tpch.Kernel) ([]sim.Duration, error) {
+		var times []sim.Duration
+		for _, q := range specs {
+			var el sim.Duration
+			var qerr error
+			doneQ := false
+			tpch.RunQuery(db, k, q, datasetBytes, func(e sim.Duration, err error) {
+				el, qerr, doneQ = e, err, true
+			})
+			for !doneQ {
+				if !step() {
+					return nil, fmt.Errorf("fig11: %s stalled", q.Name())
+				}
+			}
+			if qerr != nil {
+				return nil, fmt.Errorf("fig11: %s: %w", q.Name(), qerr)
+			}
+			times = append(times, el)
+		}
+		return times, nil
+	}
+
+	res.NVDC, err = runAll(ndb, s.K.Step, s.K)
+	if err != nil {
+		return res, err
+	}
+	if err := s.CheckHealth(); err != nil {
+		return res, err
+	}
+	res.Baseline, err = runAll(bdb, bd.K.Step, bd.K)
+	if err != nil {
+		return res, err
+	}
+
+	o.printf("== Fig. 11: TPC-H query time normalized to baseline ==\n")
+	for i := range specs {
+		sd := float64(res.NVDC[i]) / float64(res.Baseline[i])
+		res.Slowdown = append(res.Slowdown, sd)
+		o.printf("  %-4s nvdc=%-12v base=%-12v slowdown=%.1fx\n",
+			specs[i].Name(), res.NVDC[i], res.Baseline[i], sd)
+	}
+	o.printf("  paper: Q1 ~3.3x, Q20 ~78x\n")
+	return res, nil
+}

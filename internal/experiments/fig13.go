@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"nvdimmc/internal/ddr4"
+	"nvdimmc/internal/sim"
+	"nvdimmc/internal/workload/fio"
+)
+
+// Fig13Result holds the refresh-rate cost study (§VII-D2): host-side
+// (Cached) 4 KB random-read bandwidth as tREFI is shortened. More refreshes
+// give the FPGA more windows but steal host bus time.
+type Fig13Result struct {
+	Rows []Row
+	// Reduction16T is the 16-thread Cached bandwidth at tREFI4 (paper:
+	// 3690 MB/s).
+	Peak16T float64
+}
+
+// Fig13 sweeps tREFI over {7.8, 3.9, 1.95} us at one thread, plus the
+// 16-thread point at tREFI4. Paper: 1835, 1691 (-8%), 1530 (-17%); 3690 @16T.
+func Fig13(o Options) (Fig13Result, error) {
+	var res Fig13Result
+	cases := []struct {
+		trefi sim.Duration
+		paper float64
+		name  string
+	}{
+		{ddr4.TREFI, 1835, "tREFI (7.8us)"},
+		{ddr4.TREFIHot, 1691, "tREFI2 (3.9us)"},
+		{1950 * sim.Nanosecond, 1530, "tREFI4 (1.95us)"},
+	}
+	ops := o.pick(1500, 300)
+
+	run := func(trefi sim.Duration, jobs int) (float64, error) {
+		cfg := nvdcConfig(0)
+		cfg.TREFI = trefi
+		s, err := coreSystem(cfg)
+		if err != nil {
+			return 0, err
+		}
+		pages := s.Layout.NumSlots * 9 / 10
+		if err := prefillSlots(s, pages); err != nil {
+			return 0, err
+		}
+		tgt := s.NewFioTarget()
+		tgt.SetWalkFootprint(15 << 30)
+		r, err := fio.Run(tgt, fio.Job{
+			Pattern: fio.RandRead, BlockSize: PageSize, NumJobs: jobs,
+			FileSize: int64(pages) * PageSize, OpsPerThread: ops / jobs * 2, WarmupOps: 50,
+		})
+		if err != nil {
+			return 0, err
+		}
+		if err := s.CheckHealth(); err != nil {
+			return 0, err
+		}
+		return r.BandwidthMBps(), nil
+	}
+
+	for _, c := range cases {
+		mbps, err := run(c.trefi, 1)
+		if err != nil {
+			return res, err
+		}
+		res.Rows = append(res.Rows, Row{Name: c.name + " cached 1T", Paper: c.paper, Measured: mbps, Unit: "MB/s"})
+	}
+	peak, err := run(1950*sim.Nanosecond, 16)
+	if err != nil {
+		return res, err
+	}
+	res.Peak16T = peak
+	res.Rows = append(res.Rows, Row{Name: "tREFI4 cached 16T", Paper: 3690, Measured: peak, Unit: "MB/s"})
+
+	printRows(o, "Fig. 13: host-side DRAM bandwidth vs refresh rate", res.Rows)
+	return res, nil
+}

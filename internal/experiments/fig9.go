@@ -1,0 +1,127 @@
+package experiments
+
+import (
+	"fmt"
+
+	"nvdimmc/internal/report"
+	"nvdimmc/internal/workload/fio"
+)
+
+// Fig9Point is one (threads, KIOPS, MB/s) sample of a thread-sweep series.
+type Fig9Point struct {
+	Threads int
+	KIOPS   float64
+	MBps    float64
+}
+
+// Fig9Result holds the thread-count sweep (Fig. 9): baseline / NVDC-Cached /
+// NVDC-Uncached for reads and writes.
+type Fig9Result struct {
+	// Series maps "baseline-read" etc. to sweep points.
+	Series map[string][]Fig9Point
+}
+
+// Peak returns the maximum bandwidth of a series.
+func (r Fig9Result) Peak(name string) (threads int, mbps float64) {
+	for _, p := range r.Series[name] {
+		if p.MBps > mbps {
+			mbps, threads = p.MBps, p.Threads
+		}
+	}
+	return
+}
+
+// Fig9 sweeps thread counts. Paper anchors: baseline peaks 2123 KIOPS /
+// 8694 MB/s @8 threads; Cached reads 1060 KIOPS / 4341 MB/s @8 (writes
+// 4615 MB/s @16); Uncached saturates at 4 threads near 99.7 MB/s.
+func Fig9(o Options) (Fig9Result, error) {
+	res := Fig9Result{Series: make(map[string][]Fig9Point)}
+	threads := []int{1, 2, 4, 8, 16}
+	if o.Quick {
+		threads = []int{1, 4, 8}
+	}
+	ops := o.pick(600, 200)
+
+	run := func(name string, write bool, jobs int) (fio.Result, error) {
+		pat := fio.RandRead
+		if write {
+			pat = fio.RandWrite
+		}
+		switch name {
+		case "baseline":
+			d, err := newBaseline()
+			if err != nil {
+				return fio.Result{}, err
+			}
+			return fio.Run(d, fio.Job{
+				Pattern: pat, BlockSize: PageSize, NumJobs: jobs,
+				FileSize: 120 << 30, OpsPerThread: ops, WarmupOps: ops / 10,
+			})
+		case "cached":
+			s, err := coreSystem(nvdcConfig(0))
+			if err != nil {
+				return fio.Result{}, err
+			}
+			pages := s.Layout.NumSlots * 9 / 10
+			if err := prefillSlots(s, pages); err != nil {
+				return fio.Result{}, err
+			}
+			tgt := s.NewFioTarget()
+			tgt.SetWalkFootprint(15 << 30)
+			return fio.Run(tgt, fio.Job{
+				Pattern: pat, BlockSize: PageSize, NumJobs: jobs,
+				FileSize: int64(pages) * PageSize, OpsPerThread: ops, WarmupOps: ops / 10,
+			})
+		case "uncached":
+			s, err := coreSystem(nvdcConfig(o.pick(512, 256)))
+			if err != nil {
+				return fio.Result{}, err
+			}
+			if err := prefillMedia(s); err != nil {
+				return fio.Result{}, err
+			}
+			tgt := s.NewFioTarget()
+			tgt.SetWalkFootprint(120 << 30)
+			return fio.Run(tgt, fio.Job{
+				Pattern: pat, BlockSize: PageSize, NumJobs: jobs,
+				FileSize: tgt.Capacity(), OpsPerThread: o.pick(150, 60),
+				WarmupOps: (s.Layout.NumSlots + 100) / jobs, Seed: 7,
+			})
+		}
+		return fio.Result{}, fmt.Errorf("experiments: unknown series %q", name)
+	}
+
+	for _, series := range []string{"baseline", "cached", "uncached"} {
+		for _, write := range []bool{false, true} {
+			key := series + "-read"
+			if write {
+				key = series + "-write"
+			}
+			for _, jobs := range threads {
+				if series == "uncached" && jobs > 8 {
+					continue // the paper stops the uncached sweep early too
+				}
+				r, err := run(series, write, jobs)
+				if err != nil {
+					return res, fmt.Errorf("%s jobs=%d: %w", key, jobs, err)
+				}
+				res.Series[key] = append(res.Series[key], Fig9Point{
+					Threads: jobs, KIOPS: r.KIOPS(), MBps: r.BandwidthMBps(),
+				})
+			}
+		}
+	}
+
+	o.printf("== Fig. 9: 4KB random R/W vs thread count ==\n")
+	for _, key := range []string{"baseline-read", "baseline-write", "cached-read", "cached-write", "uncached-read", "uncached-write"} {
+		o.printf("  %-16s", key)
+		var ys []float64
+		for _, p := range res.Series[key] {
+			o.printf("  %dT:%6.0fMB/s", p.Threads, p.MBps)
+			ys = append(ys, p.MBps)
+		}
+		o.printf("  %s\n", report.Sparkline(ys))
+	}
+	o.printf("  paper peaks: baseline 8694 MB/s @8T; cached-read 4341 @8T; cached-write 4615 @16T; uncached ~99.7 @4T\n")
+	return res, nil
+}

@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"nvdimmc/internal/ddr4"
+	"nvdimmc/internal/sim"
+)
+
+// FrontendMedia describes one NVM technology against the Fig. 1a strawman:
+// putting the NVM controller at the DIMM frontend means serving a READ
+// within tRCD+tCL of the ACTIVATE — at most 51.6 ns even with the iMC's
+// 5-bit timing registers maxed out (§III-A).
+type FrontendMedia struct {
+	Name        string
+	ReadLatency sim.Duration
+	// MaxDensity notes why latency-compatible media still fail as SCM.
+	MaxDensityGb int
+	Feasible     bool
+	Reason       string
+}
+
+// FrontendResult is the §III-A design-space analysis.
+type FrontendResult struct {
+	// Budget is the hard deadline for an NVMC-as-frontend read.
+	Budget sim.Duration
+	Media  []FrontendMedia
+}
+
+// FrontendAnalysis evaluates which NVM media could implement the rejected
+// NVMC-as-frontend architecture (Fig. 1a), reproducing the paper's
+// conclusion: only STT-MRAM meets the timing, and its 2019-era 1 Gb
+// density disqualifies it as storage-class memory — hence DRAM-as-frontend.
+func FrontendAnalysis(o Options) FrontendResult {
+	tm := ddr4.NewTiming(ddr4.DDR4_2400)
+	budget := tm.MaxProgrammableAccessTime() // 31+31 cycles = ~51.6 ns
+
+	media := []FrontendMedia{
+		{Name: "DRAM", ReadLatency: 15 * sim.Nanosecond, MaxDensityGb: 16},
+		{Name: "STT-MRAM", ReadLatency: 35 * sim.Nanosecond, MaxDensityGb: 1},
+		{Name: "PRAM (3DX-class)", ReadLatency: 300 * sim.Nanosecond, MaxDensityGb: 128},
+		{Name: "ReRAM", ReadLatency: 1 * sim.Microsecond, MaxDensityGb: 32},
+		{Name: "Z-NAND", ReadLatency: 3 * sim.Microsecond, MaxDensityGb: 512},
+		{Name: "NAND (TLC)", ReadLatency: 50 * sim.Microsecond, MaxDensityGb: 1024},
+	}
+	for i := range media {
+		m := &media[i]
+		m.Feasible = m.ReadLatency <= budget
+		switch {
+		case !m.Feasible:
+			m.Reason = "read latency exceeds the iMC's maximum programmable tRCD+tCL"
+		case m.MaxDensityGb < 8:
+			m.Reason = "timing-compatible but density too low for SCM (the paper's STT-MRAM verdict)"
+		default:
+			m.Reason = "feasible (this is what DRAM-as-frontend uses as the cache)"
+		}
+	}
+
+	o.printf("== Fig. 1a strawman: NVMC-as-frontend timing budget ==\n")
+	o.printf("  budget (max programmable tRCD+tCL @DDR4-2400): %v\n", budget)
+	for _, m := range media {
+		verdict := "NO "
+		if m.Feasible {
+			verdict = "yes"
+		}
+		o.printf("  %-18s read %-10v density %4d Gb  frontend-capable: %s — %s\n",
+			m.Name, m.ReadLatency, m.MaxDensityGb, verdict, m.Reason)
+	}
+	o.printf("  conclusion: no NVM is both fast AND dense enough -> DRAM-as-frontend (Fig. 1b)\n")
+	return FrontendResult{Budget: budget, Media: media}
+}

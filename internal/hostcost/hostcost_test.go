@@ -1,0 +1,96 @@
+package hostcost
+
+import (
+	"testing"
+
+	"nvdimmc/internal/sim"
+)
+
+func TestWalkGrowsWithFootprint(t *testing.T) {
+	m := Default()
+	w15 := m.Walk(15 << 30)
+	w128 := m.Walk(128 << 30)
+	if w128 <= w15 {
+		t.Fatalf("walk(128G)=%v <= walk(15G)=%v", w128, w15)
+	}
+	if m.Walk(0) != 0 {
+		t.Fatal("walk(0) != 0")
+	}
+}
+
+func TestCopyCPUMonotonic(t *testing.T) {
+	m := Default()
+	prev := sim.Duration(-1)
+	for _, n := range []int{64, 128, 1024, 4096, 16384, 65536} {
+		c := m.CopyCPU(n)
+		if c <= prev {
+			t.Fatalf("CopyCPU(%d)=%v not increasing", n, c)
+		}
+		prev = c
+	}
+	// Bulk bytes are cheaper per byte than small ones.
+	perByteSmall := float64(m.CopyCPU(4096)) / 4096
+	perByteAt64K := float64(m.CopyCPU(65536)-m.CopyCPU(4096)) / float64(65536-4096)
+	if perByteAt64K >= perByteSmall {
+		t.Fatal("bulk copy not cheaper per byte")
+	}
+}
+
+func TestDispatchWriteExtra(t *testing.T) {
+	m := Default()
+	r := m.DispatchCPU(4096, false, 1<<30)
+	w := m.DispatchCPU(4096, true, 1<<30)
+	if w <= r {
+		t.Fatal("writes not costlier to dispatch")
+	}
+}
+
+func TestThreadCPUAnchors(t *testing.T) {
+	// The Fig. 8 calibration anchors (see EXPERIMENTS.md): baseline 4 KB op
+	// CPU ~1.1 us at a 120 GB footprint; 128 B op ~0.39 us.
+	m := Default()
+	c4k := m.ThreadCPU(4096, false, 120<<30)
+	if c4k < 900*sim.Nanosecond || c4k > 1300*sim.Nanosecond {
+		t.Fatalf("4K op CPU = %v, want ~1.1us", c4k)
+	}
+	c128 := m.ThreadCPU(128, false, 120<<30)
+	if c128 < 300*sim.Nanosecond || c128 > 500*sim.Nanosecond {
+		t.Fatalf("128B op CPU = %v, want ~0.39us", c128)
+	}
+}
+
+func TestNvdcSerializedAnchors(t *testing.T) {
+	// 4 KB ~0.9 us (caps cached scaling at ~1.1 M ops/s, Fig. 9); 128 B
+	// ~0.09 us (allows the 10.9 MIOPS small-access peak, §VII-B4).
+	s4k := NvdcSerialized(4096)
+	if s4k < 800*sim.Nanosecond || s4k > 1000*sim.Nanosecond {
+		t.Fatalf("serialized(4K) = %v, want ~0.89us", s4k)
+	}
+	s128 := NvdcSerialized(128)
+	if s128 < 60*sim.Nanosecond || s128 > 120*sim.Nanosecond {
+		t.Fatalf("serialized(128) = %v, want ~0.086us", s128)
+	}
+	// Multi-page ops amortize.
+	s64k := NvdcSerialized(65536)
+	if s64k >= 16*s4k {
+		t.Fatalf("serialized(64K)=%v not amortized vs 16x4K=%v", s64k, 16*s4k)
+	}
+}
+
+func TestCopyChunks(t *testing.T) {
+	if CopyChunks(64) != 1 || CopyChunks(2048) != 1 {
+		t.Fatal("small ops must be one chunk")
+	}
+	if CopyChunks(4096) != 2 {
+		t.Fatalf("4K chunks = %d, want 2", CopyChunks(4096))
+	}
+	if CopyChunks(1<<20) != 8 {
+		t.Fatalf("1M chunks = %d, want capped at 8", CopyChunks(1<<20))
+	}
+}
+
+func TestLines(t *testing.T) {
+	if Lines(1) != 1 || Lines(64) != 1 || Lines(65) != 2 || Lines(4096) != 64 {
+		t.Fatal("line math")
+	}
+}

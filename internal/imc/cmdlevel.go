@@ -1,0 +1,186 @@
+package imc
+
+import (
+	"fmt"
+
+	"nvdimmc/internal/bus"
+	"nvdimmc/internal/ddr4"
+	"nvdimmc/internal/sim"
+)
+
+// Command-level host access: instead of the transfer-level occupancy model,
+// this path drives real DDR4 command sequences — PRE/ACT/RD/WR per 64 B
+// burst under an open-page policy — through the channel into the DRAM's
+// bank state machines, which validate every timing rule. It is the
+// protocol-fidelity mode: slower to simulate, used by the validation tests
+// and available for paranoid runs; the two paths must agree on data and
+// roughly on time.
+
+// cmdBank tracks the scheduler's view of one bank.
+type cmdBank struct {
+	openRow int // -1 when precharged
+	lastACT sim.Time
+}
+
+// CmdScheduler issues command-level host accesses on a controller's channel.
+type CmdScheduler struct {
+	c     *Controller
+	banks []cmdBank
+
+	// Stats.
+	acts, pres, reads, writes uint64
+	rowHits                   uint64
+}
+
+// NewCmdScheduler returns a scheduler that assumes all banks precharged
+// (the state after any refresh, which PREAs everything).
+func (c *Controller) NewCmdScheduler() *CmdScheduler {
+	nb := c.ch.Device().Config().Banks
+	s := &CmdScheduler{c: c, banks: make([]cmdBank, nb)}
+	for i := range s.banks {
+		s.banks[i].openRow = -1
+		s.banks[i].lastACT = sim.Time(-1 << 50)
+	}
+	return s
+}
+
+// Stats reports command counts and the row-hit total.
+func (s *CmdScheduler) Stats() (acts, pres, reads, writes, rowHits uint64) {
+	return s.acts, s.pres, s.reads, s.writes, s.rowHits
+}
+
+// invalidateOnRefresh must be called when a REF occurred since the last
+// access: the iMC PREAs all banks before REF, so the scheduler's open-row
+// state resets. The controller tracks refresh counts for this.
+func (s *CmdScheduler) syncRefresh(seenRefreshes *uint64) {
+	if *seenRefreshes != s.c.refreshes {
+		*seenRefreshes = s.c.refreshes
+		for i := range s.banks {
+			s.banks[i].openRow = -1
+		}
+	}
+}
+
+// ReadAt performs a command-level read of len(buf) bytes at addr. done runs
+// when the last burst's data has crossed the bus.
+func (s *CmdScheduler) ReadAt(addr int64, buf []byte, done func()) {
+	s.access(addr, buf, false, done)
+}
+
+// WriteAt performs a command-level write.
+func (s *CmdScheduler) WriteAt(addr int64, data []byte, done func()) {
+	s.access(addr, data, true, done)
+}
+
+func (s *CmdScheduler) access(addr int64, buf []byte, write bool, done func()) {
+	dev := s.c.ch.Device()
+	if addr%ddr4.BurstBytes != 0 {
+		panic(fmt.Sprintf("imc: command-level access at unaligned address %d", addr))
+	}
+	if len(buf)%ddr4.BurstBytes != 0 {
+		panic(fmt.Sprintf("imc: command-level access of unaligned size %d", len(buf)))
+	}
+	tm := dev.Config().Timing
+	nBursts := len(buf) / ddr4.BurstBytes
+	var seenRefreshes uint64 = s.c.refreshes
+
+	i := 0
+	var next func()
+	next = func() {
+		if i >= nBursts {
+			if done != nil {
+				done()
+			}
+			return
+		}
+		burst := i
+		i++
+		a := addr + int64(burst)*ddr4.BurstBytes
+		bnk, row, col := dev.AddrToBRC(a)
+
+		// Build the command sequence and its duration, then occupy the bus
+		// for it; refresh holds (which PREA the device) are excluded by the
+		// FIFO bus resource, and syncRefresh re-syncs our row state.
+		s.syncRefresh(&seenRefreshes)
+		b := &s.banks[bnk]
+		needPRE := b.openRow >= 0 && b.openRow != row
+		needACT := b.openRow != row
+		if !needACT {
+			s.rowHits++
+		}
+
+		var hold sim.Duration = tm.TBL
+		if needPRE {
+			hold += tm.TRP
+		}
+		if needACT {
+			// Hold the bus until the freshly opened row is legally
+			// prechargeable: a refresh (PREA) may be queued right behind us
+			// and must not violate tRAS.
+			post := tm.TRCD + tm.TBL
+			if tm.TRAS > post {
+				hold += tm.TRAS - tm.TBL
+			} else {
+				hold += tm.TRCD
+			}
+		}
+		// tRAS: a precharge may not come earlier than lastACT+tRAS.
+		var preWait sim.Duration
+		if needPRE {
+			earliest := b.lastACT.Add(tm.TRAS)
+			if now := s.c.k.Now(); earliest > now {
+				preWait = earliest.Sub(now)
+			}
+		}
+		hold += preWait
+
+		s.c.ch.DataBus.Acquire(hold, func(start sim.Time) {
+			// Refresh may have intervened while we queued.
+			s.syncRefresh(&seenRefreshes)
+			needPRE := s.banks[bnk].openRow >= 0 && s.banks[bnk].openRow != row
+			needACT := s.banks[bnk].openRow != row
+			t := start.Add(preWait)
+			issue := func(at sim.Time, cmd ddr4.Command) {
+				s.c.k.ScheduleAt(at, func() { s.c.ch.Issue(bus.HostIMC, cmd) })
+			}
+			if needPRE {
+				issue(t, ddr4.Command{Kind: ddr4.CmdPrecharge, Bank: bnk})
+				t = t.Add(tm.TRP)
+				s.pres++
+			}
+			if needACT {
+				issue(t, ddr4.Command{Kind: ddr4.CmdActivate, Bank: bnk, Row: row})
+				at := t
+				s.c.k.ScheduleAt(at, func() { s.banks[bnk].lastACT = at })
+				t = t.Add(tm.TRCD)
+				s.acts++
+				s.banks[bnk].openRow = row
+			}
+			kind := ddr4.CmdRead
+			if write {
+				kind = ddr4.CmdWrite
+				s.writes++
+			} else {
+				s.reads++
+			}
+			issue(t, ddr4.Command{Kind: kind, Bank: bnk, Col: col})
+			// Data crosses the bus TCL after CAS; the burst slice moves at
+			// completion.
+			end := t.Add(tm.TBL)
+			span := buf[burst*ddr4.BurstBytes : (burst+1)*ddr4.BurstBytes]
+			s.c.k.ScheduleAt(end, func() {
+				var err error
+				if write {
+					err = dev.CopyIn(a, span)
+				} else {
+					err = dev.CopyOut(a, span)
+				}
+				if err != nil {
+					panic(fmt.Sprintf("imc: command-level data: %v", err))
+				}
+				next()
+			})
+		})
+	}
+	next()
+}

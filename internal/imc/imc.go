@@ -1,0 +1,284 @@
+// Package imc models the host's integrated memory controller: the component
+// NVDIMM-C deliberately does NOT modify. It issues PREA+REF on a strict
+// tREFI cadence (the hook the NVMC's whole access mechanism hangs on), holds
+// the data bus for the *programmed* tRFC after each REF, performs host reads
+// and writes as serialized data-bus transactions, and models the write
+// pending queue (WPQ) that delimits the platform persistence domain (§V-C).
+//
+// tREFI and tRFC are programmable, mirroring the Skylake MMIO configuration
+// registers the paper uses to stretch tRFC to 1.25 us and to double or
+// quadruple the refresh rate (Figs. 12/13).
+package imc
+
+import (
+	"fmt"
+
+	"nvdimmc/internal/bus"
+	"nvdimmc/internal/ddr4"
+	"nvdimmc/internal/sim"
+)
+
+// Config parameterizes the controller.
+type Config struct {
+	// TREFI is the average refresh interval (default 7.8 us).
+	TREFI sim.Duration
+	// TRFC is the programmed refresh cycle time the controller keeps the
+	// bus quiet for after REF. The PoC programs 1.25 us (§IV-A).
+	TRFC sim.Duration
+	// RowSwitchesPer4K approximates how many row activations a random 4 KB
+	// transfer incurs (the 4 KB may straddle a row boundary and the row is
+	// rarely already open under random traffic).
+	RowSwitchesPer4K int
+	// WPQCapacity bounds the write pending queue (64 entries on Skylake-SP
+	// class parts; the exact value only matters to the persistence tests).
+	WPQCapacity int
+}
+
+// DefaultConfig mirrors the PoC configuration from Table I.
+func DefaultConfig() Config {
+	return Config{
+		TREFI:            ddr4.TREFI,
+		TRFC:             1250 * sim.Nanosecond,
+		RowSwitchesPer4K: 1,
+		WPQCapacity:      64,
+	}
+}
+
+type wpqEntry struct {
+	id   uint64
+	addr int64
+	data []byte
+}
+
+// Controller is the host iMC for one memory channel.
+type Controller struct {
+	k   *sim.Kernel
+	ch  *bus.Channel
+	cfg Config
+
+	refreshEnabled bool
+	refreshes      uint64
+	nextRefresh    sim.Time
+
+	wpq    []wpqEntry
+	wpqSeq uint64
+	// wpqDrained counts entries that reached the DRAM.
+	wpqDrained uint64
+	// adrFlushes counts power-fail flushes.
+	adrFlushes uint64
+
+	reads, writes uint64
+	readBytes     uint64
+	writeBytes    uint64
+
+	// selfRefresh tracks the power-state the controller put the DIMM in.
+	selfRefresh bool
+	// postponed counts refreshes granted more than tREFI late (JEDEC allows
+	// postponing up to 8).
+	postponed uint64
+}
+
+// New wires a controller to the channel. Call StartRefresh to begin the
+// refresh cadence (BIOS hands the machine over with refresh running).
+func New(k *sim.Kernel, ch *bus.Channel, cfg Config) *Controller {
+	if cfg.TREFI <= 0 || cfg.TRFC <= 0 {
+		panic("imc: refresh timing must be positive")
+	}
+	if cfg.TRFC >= cfg.TREFI {
+		panic(fmt.Sprintf("imc: tRFC %v >= tREFI %v", cfg.TRFC, cfg.TREFI))
+	}
+	if cfg.RowSwitchesPer4K <= 0 {
+		cfg.RowSwitchesPer4K = 1
+	}
+	if cfg.WPQCapacity <= 0 {
+		cfg.WPQCapacity = 64
+	}
+	return &Controller{k: k, ch: ch, cfg: cfg}
+}
+
+// Config returns the controller configuration.
+func (c *Controller) Config() Config { return c.cfg }
+
+// Refreshes returns the number of REF commands issued.
+func (c *Controller) Refreshes() uint64 { return c.refreshes }
+
+// StartRefresh begins the periodic refresh engine. The first REF is issued
+// one tREFI from now.
+func (c *Controller) StartRefresh() {
+	if c.refreshEnabled {
+		return
+	}
+	c.refreshEnabled = true
+	c.nextRefresh = c.k.Now().Add(c.cfg.TREFI)
+	c.scheduleRefresh()
+}
+
+// StopRefresh halts the refresh engine (used by teardown and by the
+// NVMC-frontend strawman experiments).
+func (c *Controller) StopRefresh() { c.refreshEnabled = false }
+
+func (c *Controller) scheduleRefresh() {
+	if !c.refreshEnabled {
+		return
+	}
+	c.k.ScheduleAt(c.nextRefresh, func() {
+		if !c.refreshEnabled {
+			return
+		}
+		// Hold the data bus for the full programmed tRFC: no host command
+		// can be issued during the refresh cycle (§II-B). The hold also
+		// covers the extra window the NVMC uses.
+		due := c.nextRefresh
+		c.ch.DataBus.Acquire(c.cfg.TRFC, func(start sim.Time) {
+			if c.selfRefresh {
+				return // the DIMM refreshes itself
+			}
+			if start.Sub(due) > c.cfg.TREFI {
+				c.postponed++
+			}
+			// DDR4 has no per-bank refresh: precharge all banks first
+			// (§III-B), then issue REF.
+			c.ch.Issue(bus.HostIMC, ddr4.Command{Kind: ddr4.CmdPrechargeAll})
+			c.ch.Issue(bus.HostIMC, ddr4.Command{Kind: ddr4.CmdRefresh})
+			c.refreshes++
+		})
+		// Fixed cadence: the next REF is due tREFI after this one was due,
+		// regardless of queueing delay, so the average interval holds.
+		c.nextRefresh = c.nextRefresh.Add(c.cfg.TREFI)
+		c.scheduleRefresh()
+	})
+}
+
+func (c *Controller) rowSwitches(n int) int {
+	// Scale the per-4K estimate by transfer size, minimum one.
+	s := (n*c.cfg.RowSwitchesPer4K + 4095) / 4096
+	if s < 1 {
+		s = 1
+	}
+	return s
+}
+
+// Read fetches len(buf) bytes at addr from the DRAM behind the channel.
+// done runs when the data has fully crossed the bus.
+func (c *Controller) Read(addr int64, buf []byte, done func()) {
+	c.ReadRS(addr, buf, c.rowSwitches(len(buf)), done)
+}
+
+// ReadRS is Read with an explicit row-switch charge (chunked op models
+// charge the row overhead once per op, not per chunk).
+func (c *Controller) ReadRS(addr int64, buf []byte, rowSwitches int, done func()) {
+	c.reads++
+	c.readBytes += uint64(len(buf))
+	c.ch.HostRead(addr, buf, rowSwitches, done)
+}
+
+// Write stores data at addr. The write enters the WPQ immediately (the CPU
+// considers it posted) and drains to DRAM when the bus transaction is
+// granted. done runs when the data is in the DRAM array.
+func (c *Controller) Write(addr int64, data []byte, done func()) {
+	c.WriteRS(addr, data, c.rowSwitches(len(data)), done)
+}
+
+// WriteRS is Write with an explicit row-switch charge.
+func (c *Controller) WriteRS(addr int64, data []byte, rowSwitches int, done func()) {
+	c.writes++
+	c.writeBytes += uint64(len(data))
+	owned := make([]byte, len(data))
+	copy(owned, data)
+	c.wpqSeq++
+	id := c.wpqSeq
+	c.wpq = append(c.wpq, wpqEntry{id: id, addr: addr, data: owned})
+	c.ch.HostWrite(addr, owned, rowSwitches, func() {
+		c.unqueue(id)
+		if done != nil {
+			done()
+		}
+	})
+}
+
+func (c *Controller) unqueue(id uint64) {
+	for i := range c.wpq {
+		if c.wpq[i].id == id {
+			c.wpq = append(c.wpq[:i], c.wpq[i+1:]...)
+			c.wpqDrained++
+			return
+		}
+	}
+}
+
+// WPQDepth reports posted writes not yet in the DRAM array.
+func (c *Controller) WPQDepth() int { return len(c.wpq) }
+
+// ADRFlush models the asynchronous DRAM refresh power-fail flush: all WPQ
+// entries are forced into the DRAM array immediately (the platform ensures
+// stores in the WPQ reach the media on power failure, §V-C). It returns the
+// number of entries flushed.
+func (c *Controller) ADRFlush() int {
+	n, _ := c.ADRFlushRacing(false)
+	return n
+}
+
+// ADRFlushRacing models the §V-C caveat: on the PoC, the platform's WPQ
+// drain and the FPGA's metadata-driven flush run in PARALLEL, so some WPQ
+// stores may reach the DRAM cache only after the FPGA has already read the
+// corresponding page — those writes are lost ("the precise persistence
+// domain scales down to the DRAM cache, while the WPQ becomes a weak
+// persistence domain"). With race=true, every other entry loses the race
+// (a deterministic stand-in for the timing-dependent overlap); with
+// race=false the drain wins everywhere (the ADR-detection future work).
+func (c *Controller) ADRFlushRacing(race bool) (flushed, lost int) {
+	for i, e := range c.wpq {
+		if race && i%2 == 1 {
+			lost++
+			continue
+		}
+		// Direct copy: the ADR domain is powered just long enough for this.
+		if err := c.ch.Device().CopyIn(e.addr, e.data); err != nil {
+			panic(fmt.Sprintf("imc: ADR flush: %v", err))
+		}
+		flushed++
+	}
+	c.wpq = c.wpq[:0]
+	c.adrFlushes++
+	return flushed, lost
+}
+
+// Stats reports operation counters.
+func (c *Controller) Stats() (reads, writes, readBytes, writeBytes uint64) {
+	return c.reads, c.writes, c.readBytes, c.writeBytes
+}
+
+// PostponedRefreshes reports refreshes granted more than one tREFI late.
+func (c *Controller) PostponedRefreshes() uint64 { return c.postponed }
+
+// EnterSelfRefresh puts the DIMM into self-refresh (idle power state): the
+// controller precharges all banks, issues SRE, and stops issuing REF. In
+// this state the NVMC gets no windows — the §IV-A decode distinction between
+// REF and SRE is what keeps it off the bus.
+func (c *Controller) EnterSelfRefresh() {
+	if c.selfRefresh {
+		return
+	}
+	c.selfRefresh = true
+	c.ch.DataBus.Acquire(c.cfg.TRFC, func(sim.Time) {
+		c.ch.Issue(bus.HostIMC, ddr4.Command{Kind: ddr4.CmdPrechargeAll})
+		c.ch.Issue(bus.HostIMC, ddr4.Command{Kind: ddr4.CmdSelfRefreshEntry})
+	})
+}
+
+// ExitSelfRefresh wakes the DIMM (SRX) and resumes normal refresh.
+func (c *Controller) ExitSelfRefresh() {
+	if !c.selfRefresh {
+		return
+	}
+	c.ch.DataBus.Acquire(c.cfg.TRFC, func(sim.Time) {
+		c.ch.Issue(bus.HostIMC, ddr4.Command{Kind: ddr4.CmdSelfRefreshExit})
+		c.selfRefresh = false
+	})
+}
+
+// RefreshOverhead returns the fraction of bus time consumed by refresh at
+// the programmed parameters: tRFC/tREFI.
+func (c *Controller) RefreshOverhead() float64 {
+	return float64(c.cfg.TRFC) / float64(c.cfg.TREFI)
+}

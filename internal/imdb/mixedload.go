@@ -1,0 +1,150 @@
+package imdb
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"nvdimmc/internal/sim"
+)
+
+// MixedLoad is the stand-in for SAP's in-house mixed-load benchmark
+// (§VII-B5): many concurrent users execute read-modify-write transactions
+// against row records, and every transaction validates the record's checksum
+// before and after. Any corruption anywhere in the memory stack — a bus
+// conflict, a lost window transfer, a coherence slip — fails validation.
+type MixedLoad struct {
+	db  *DB
+	k   Kernel
+	rng *sim.Rand
+
+	// RecordBytes is one user record (checksummed).
+	RecordBytes int
+	// Records is the row count of the benchmark table.
+	Records int64
+
+	base int64
+
+	// Results.
+	Transactions       uint64
+	ValidationFailures uint64
+}
+
+// recordLayout: [0:8) sequence number, [8:16) payload seed,
+// [16:24) checksum over the rest, rest payload derived from seed+seq.
+
+// NewMixedLoad allocates the user table on the database's device.
+func NewMixedLoad(db *DB, records int64, recordBytes int) (*MixedLoad, error) {
+	if recordBytes < 32 {
+		recordBytes = 64
+	}
+	need := records * int64(recordBytes)
+	if db.alloc+need > db.capacity {
+		return nil, fmt.Errorf("imdb: mixed-load table needs %d bytes, %d available", need, db.capacity-db.alloc)
+	}
+	m := &MixedLoad{
+		db: db, k: db.k, rng: sim.NewRand(0x51ED),
+		RecordBytes: recordBytes,
+		Records:     records,
+		base:        db.alloc,
+	}
+	db.alloc += need
+	return m, nil
+}
+
+func (m *MixedLoad) encode(seq, seed uint64) []byte {
+	rec := make([]byte, m.RecordBytes)
+	binary.LittleEndian.PutUint64(rec[0:], seq)
+	binary.LittleEndian.PutUint64(rec[8:], seed)
+	for i := 24; i < len(rec); i++ {
+		rec[i] = byte(seed>>uint(i%8*8)) ^ byte(seq) ^ byte(i)
+	}
+	binary.LittleEndian.PutUint64(rec[16:], m.checksum(rec))
+	return rec
+}
+
+func (m *MixedLoad) checksum(rec []byte) uint64 {
+	h := uint64(1469598103934665603)
+	mix := func(b byte) {
+		h ^= uint64(b)
+		h *= 1099511628211
+	}
+	for _, b := range rec[0:16] {
+		mix(b)
+	}
+	for _, b := range rec[24:] {
+		mix(b)
+	}
+	return h
+}
+
+func (m *MixedLoad) validate(rec []byte) bool {
+	return binary.LittleEndian.Uint64(rec[16:]) == m.checksum(rec)
+}
+
+// Init writes initial records; done runs when all are durable in the device.
+func (m *MixedLoad) Init(done func()) {
+	var row int64
+	var step func()
+	step = func() {
+		if row >= m.Records {
+			if done != nil {
+				done()
+			}
+			return
+		}
+		r := row
+		row++
+		m.db.dev.Store(m.base+r*int64(m.RecordBytes), m.encode(0, uint64(r)*0x9E3779B9+1), step)
+	}
+	step()
+}
+
+// Run executes txPerUser transactions on each of users concurrent users;
+// done fires when all complete. Validation failures accumulate in
+// ValidationFailures.
+func (m *MixedLoad) Run(users, txPerUser int, done func()) {
+	remaining := users
+	for u := 0; u < users; u++ {
+		rng := sim.NewRand(uint64(u)*7919 + 13)
+		count := 0
+		var txn func()
+		txn = func() {
+			if count >= txPerUser {
+				remaining--
+				if remaining == 0 && done != nil {
+					done()
+				}
+				return
+			}
+			count++
+			row := rng.Int63n(m.Records)
+			off := m.base + row*int64(m.RecordBytes)
+			rec := make([]byte, m.RecordBytes)
+			m.db.dev.Load(off, rec, func() {
+				m.Transactions++
+				if !m.validate(rec) {
+					m.ValidationFailures++
+					m.k.Schedule(m.db.cost.TxnCompute, txn)
+					return
+				}
+				// Modify: bump sequence, rewrite payload and checksum.
+				seq := binary.LittleEndian.Uint64(rec[0:]) + 1
+				seed := binary.LittleEndian.Uint64(rec[8:])
+				updated := m.encode(seq, seed)
+				m.k.Schedule(m.db.cost.TxnCompute, func() {
+					m.db.dev.Store(off, updated, func() {
+						// Read-back validation (the benchmark's point).
+						check := make([]byte, m.RecordBytes)
+						m.db.dev.Load(off, check, func() {
+							if !m.validate(check) {
+								m.ValidationFailures++
+							}
+							txn()
+						})
+					})
+				})
+			})
+		}
+		txn()
+	}
+}

@@ -1,0 +1,189 @@
+// Package metrics provides the measurement plumbing the benchmark harnesses
+// share: latency histograms with percentile queries, bandwidth/IOPS meters
+// over simulated time, and simple time series for the Fig. 7-style
+// bandwidth-over-progress plots.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"nvdimmc/internal/sim"
+)
+
+// Histogram records latencies with log-spaced buckets plus exact min/max and
+// a bounded reservoir for percentile estimation.
+type Histogram struct {
+	count   uint64
+	sum     sim.Duration
+	min     sim.Duration
+	max     sim.Duration
+	samples []sim.Duration // reservoir
+	seen    uint64
+	rng     uint64
+}
+
+// reservoirSize bounds per-histogram memory.
+const reservoirSize = 4096
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram {
+	return &Histogram{min: math.MaxInt64, rng: 0x1234ABCD}
+}
+
+// Record adds one latency observation.
+func (h *Histogram) Record(d sim.Duration) {
+	h.count++
+	h.sum += d
+	if d < h.min {
+		h.min = d
+	}
+	if d > h.max {
+		h.max = d
+	}
+	h.seen++
+	if len(h.samples) < reservoirSize {
+		h.samples = append(h.samples, d)
+		return
+	}
+	// Vitter's algorithm R.
+	h.rng ^= h.rng << 13
+	h.rng ^= h.rng >> 7
+	h.rng ^= h.rng << 17
+	if idx := h.rng % h.seen; idx < uint64(len(h.samples)) {
+		h.samples[idx] = d
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count }
+
+// Mean returns the average latency (0 if empty).
+func (h *Histogram) Mean() sim.Duration {
+	if h.count == 0 {
+		return 0
+	}
+	return sim.Duration(int64(h.sum) / int64(h.count))
+}
+
+// Min and Max return the extremes (0 if empty).
+func (h *Histogram) Min() sim.Duration {
+	if h.count == 0 {
+		return 0
+	}
+	return h.min
+}
+
+// Max returns the maximum observation.
+func (h *Histogram) Max() sim.Duration { return h.max }
+
+// Percentile returns the p-th percentile (0 <= p <= 100) from the reservoir.
+func (h *Histogram) Percentile(p float64) sim.Duration {
+	if len(h.samples) == 0 {
+		return 0
+	}
+	s := make([]sim.Duration, len(h.samples))
+	copy(s, h.samples)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	idx := int(p / 100 * float64(len(s)-1))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(s) {
+		idx = len(s) - 1
+	}
+	return s[idx]
+}
+
+func (h *Histogram) String() string {
+	return fmt.Sprintf("n=%d mean=%v p50=%v p99=%v max=%v",
+		h.count, h.Mean(), h.Percentile(50), h.Percentile(99), h.Max())
+}
+
+// Meter accumulates operation and byte counts over a simulated interval and
+// reports IOPS and bandwidth.
+type Meter struct {
+	start sim.Time
+	end   sim.Time
+	ops   uint64
+	bytes uint64
+}
+
+// NewMeter starts measuring at now.
+func NewMeter(now sim.Time) *Meter { return &Meter{start: now, end: now} }
+
+// Record adds one completed operation of n bytes at time now.
+func (m *Meter) Record(now sim.Time, n int) {
+	m.ops++
+	m.bytes += uint64(n)
+	if now > m.end {
+		m.end = now
+	}
+}
+
+// Finish pins the measurement end (defaults to the last recorded op).
+func (m *Meter) Finish(now sim.Time) {
+	if now > m.end {
+		m.end = now
+	}
+}
+
+// Elapsed returns the measured interval.
+func (m *Meter) Elapsed() sim.Duration { return m.end.Sub(m.start) }
+
+// Ops returns completed operations.
+func (m *Meter) Ops() uint64 { return m.ops }
+
+// Bytes returns total bytes moved.
+func (m *Meter) Bytes() uint64 { return m.bytes }
+
+// IOPS returns operations per simulated second.
+func (m *Meter) IOPS() float64 {
+	e := m.Elapsed().Seconds()
+	if e <= 0 {
+		return 0
+	}
+	return float64(m.ops) / e
+}
+
+// KIOPS returns thousands of operations per second.
+func (m *Meter) KIOPS() float64 { return m.IOPS() / 1e3 }
+
+// BandwidthMBps returns bandwidth in decimal megabytes per second (the
+// paper's unit).
+func (m *Meter) BandwidthMBps() float64 {
+	e := m.Elapsed().Seconds()
+	if e <= 0 {
+		return 0
+	}
+	return float64(m.bytes) / 1e6 / e
+}
+
+// Series is a (x, value) sequence for bandwidth-over-progress plots.
+type Series struct {
+	Name   string
+	X      []float64
+	Values []float64
+}
+
+// Add appends one point.
+func (s *Series) Add(x, v float64) {
+	s.X = append(s.X, x)
+	s.Values = append(s.Values, v)
+}
+
+// Len returns the number of points.
+func (s *Series) Len() int { return len(s.Values) }
+
+// Mean returns the average of the values (0 if empty).
+func (s *Series) Mean() float64 {
+	if len(s.Values) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range s.Values {
+		sum += v
+	}
+	return sum / float64(len(s.Values))
+}

@@ -1,0 +1,110 @@
+package metrics
+
+import (
+	"testing"
+
+	"nvdimmc/internal/sim"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram()
+	for i := 1; i <= 100; i++ {
+		h.Record(sim.Duration(i) * sim.Microsecond)
+	}
+	if h.Count() != 100 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Min() != sim.Microsecond || h.Max() != 100*sim.Microsecond {
+		t.Fatalf("min/max = %v/%v", h.Min(), h.Max())
+	}
+	mean := h.Mean()
+	if mean < 50*sim.Microsecond || mean > 51*sim.Microsecond {
+		t.Fatalf("mean = %v, want ~50.5us", mean)
+	}
+	p50 := h.Percentile(50)
+	if p50 < 45*sim.Microsecond || p50 > 56*sim.Microsecond {
+		t.Fatalf("p50 = %v", p50)
+	}
+	if h.Percentile(100) != h.Max() {
+		t.Fatalf("p100 = %v != max %v", h.Percentile(100), h.Max())
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram()
+	if h.Mean() != 0 || h.Min() != 0 || h.Percentile(99) != 0 {
+		t.Fatal("empty histogram not zeroed")
+	}
+}
+
+func TestHistogramReservoirBounded(t *testing.T) {
+	h := NewHistogram()
+	for i := 0; i < 100000; i++ {
+		h.Record(sim.Duration(i))
+	}
+	if len(h.samples) > reservoirSize {
+		t.Fatalf("reservoir grew to %d", len(h.samples))
+	}
+	if h.Count() != 100000 {
+		t.Fatalf("count = %d", h.Count())
+	}
+}
+
+func TestMeter(t *testing.T) {
+	m := NewMeter(0)
+	m.Record(sim.Time(sim.Millisecond), 4096)
+	m.Record(sim.Time(2*sim.Millisecond), 4096)
+	if m.Ops() != 2 || m.Bytes() != 8192 {
+		t.Fatalf("ops/bytes = %d/%d", m.Ops(), m.Bytes())
+	}
+	// 8192 B over 2 ms = 4.096 MB/s.
+	if bw := m.BandwidthMBps(); bw < 4.0 || bw > 4.2 {
+		t.Fatalf("bandwidth = %v", bw)
+	}
+	if iops := m.IOPS(); iops < 999 || iops > 1001 {
+		t.Fatalf("IOPS = %v", iops)
+	}
+	if m.KIOPS() != m.IOPS()/1000 {
+		t.Fatal("KIOPS mismatch")
+	}
+}
+
+func TestMeterFinishExtends(t *testing.T) {
+	m := NewMeter(0)
+	m.Record(sim.Time(sim.Millisecond), 1000)
+	m.Finish(sim.Time(2 * sim.Millisecond))
+	if m.Elapsed() != 2*sim.Millisecond {
+		t.Fatalf("elapsed = %v", m.Elapsed())
+	}
+}
+
+func TestMeterEmpty(t *testing.T) {
+	m := NewMeter(0)
+	if m.IOPS() != 0 || m.BandwidthMBps() != 0 {
+		t.Fatal("empty meter reports throughput")
+	}
+}
+
+func TestSeries(t *testing.T) {
+	var s Series
+	s.Add(0.1, 10)
+	s.Add(0.2, 30)
+	if s.Len() != 2 {
+		t.Fatalf("len = %d", s.Len())
+	}
+	if s.Mean() != 20 {
+		t.Fatalf("mean = %v", s.Mean())
+	}
+	var empty Series
+	if empty.Mean() != 0 {
+		t.Fatal("empty series mean")
+	}
+}
+
+func TestHistogramString(t *testing.T) {
+	h := NewHistogram()
+	h.Record(sim.Microsecond)
+	if h.String() == "" {
+		t.Fatal("empty string")
+	}
+}

@@ -1,0 +1,400 @@
+// Package nand models the Z-NAND flash devices on the NVDIMM-C board: two
+// channels of low-latency SLC NAND (§IV-A), each with dies, blocks and 4 KB
+// pages. Operations (Read, Program, Erase) occupy the die for the media
+// latency and the channel for the data transfer, serviced through sim
+// resources so channel/die contention emerges naturally. The model stores
+// real bytes, enforces NAND programming rules (no overwrite without erase),
+// injects grown bad blocks, and tracks wear.
+package nand
+
+import (
+	"fmt"
+	"math"
+
+	"nvdimmc/internal/sim"
+)
+
+// PageSize is the NAND page size, matching the NVDIMM-C 4 KB management
+// granularity (§III-A: primitive NAND operations with ECC at 4 KB).
+const PageSize = 4096
+
+// Config sizes a Z-NAND subsystem.
+type Config struct {
+	Channels      int
+	DiesPerChan   int
+	BlocksPerDie  int
+	PagesPerBlock int
+
+	// Media latencies. Z-NAND is low-latency SLC: reads in single-digit
+	// microseconds (vs ~50 us for conventional TLC).
+	ReadLatency    sim.Duration
+	ProgramLatency sim.Duration
+	EraseLatency   sim.Duration
+
+	// TransferPerPage is the channel occupancy to move one page between the
+	// die and the controller. The PoC's NAND PHY runs at 50 MHz — a tenth
+	// of the media's capability (§VII-C) — so this dominates small reads.
+	TransferPerPage sim.Duration
+
+	// InitialBadBlockPPM injects factory bad blocks at this rate (parts per
+	// million of blocks).
+	InitialBadBlockPPM int
+
+	// RawBitErrorRate is the per-bit flip probability on reads (media RBER;
+	// SLC Z-NAND is ~1e-8 fresh, rising with wear). The on-die ECC corrects
+	// up to ECCCorrectableBits per 4 KB codeword (§III-A: primitive NAND
+	// operations carry ECC at 4 KB granularity).
+	RawBitErrorRate    float64
+	ECCCorrectableBits int
+
+	// Seed for bad-block placement and error injection.
+	Seed uint64
+}
+
+// DefaultConfig returns a scaled-down two-channel Z-NAND array with PoC-like
+// latencies. Capacity = Channels*DiesPerChan*BlocksPerDie*PagesPerBlock*4 KB.
+func DefaultConfig() Config {
+	return Config{
+		Channels:           2,
+		DiesPerChan:        2,
+		BlocksPerDie:       256,
+		PagesPerBlock:      64,
+		ReadLatency:        3 * sim.Microsecond,
+		ProgramLatency:     100 * sim.Microsecond,
+		EraseLatency:       1 * sim.Millisecond,
+		TransferPerPage:    8 * sim.Microsecond,
+		InitialBadBlockPPM: 2000,
+		RawBitErrorRate:    1e-8,
+		ECCCorrectableBits: 40,
+		Seed:               0xBAD5EED,
+	}
+}
+
+// PageAddr identifies a physical page.
+type PageAddr struct {
+	Channel, Die, Block, Page int
+}
+
+func (a PageAddr) String() string {
+	return fmt.Sprintf("ch%d/d%d/b%d/p%d", a.Channel, a.Die, a.Block, a.Page)
+}
+
+type block struct {
+	erases     uint64
+	programmed []bool // per page: programmed since last erase
+	zero       []bool // programmed with all-zero data (stored deduplicated)
+	nextPage   int    // NAND requires in-order page programming within a block
+	bad        bool
+	data       [][]byte // lazily allocated per page
+}
+
+type die struct {
+	blocks []block
+	busy   *sim.Resource
+}
+
+// Array is the Z-NAND subsystem.
+type Array struct {
+	k        *sim.Kernel
+	cfg      Config
+	channels []*sim.Resource
+	dies     [][]*die
+
+	reads, programs, erases uint64
+	programFails            uint64
+
+	correctedBits uint64
+	uncorrectable uint64
+	errRng        *sim.Rand
+}
+
+// New builds the array and injects factory bad blocks.
+func New(k *sim.Kernel, cfg Config) *Array {
+	if cfg.Channels <= 0 || cfg.DiesPerChan <= 0 || cfg.BlocksPerDie <= 0 || cfg.PagesPerBlock <= 0 {
+		panic("nand: invalid geometry")
+	}
+	a := &Array{k: k, cfg: cfg, errRng: sim.NewRand(cfg.Seed ^ 0xECC)}
+	rng := sim.NewRand(cfg.Seed)
+	for c := 0; c < cfg.Channels; c++ {
+		a.channels = append(a.channels, sim.NewResource(k, fmt.Sprintf("nand-ch%d", c)))
+		var ds []*die
+		for d := 0; d < cfg.DiesPerChan; d++ {
+			dd := &die{
+				blocks: make([]block, cfg.BlocksPerDie),
+				busy:   sim.NewResource(k, fmt.Sprintf("nand-ch%d-die%d", c, d)),
+			}
+			for b := range dd.blocks {
+				dd.blocks[b].programmed = make([]bool, cfg.PagesPerBlock)
+				dd.blocks[b].zero = make([]bool, cfg.PagesPerBlock)
+				dd.blocks[b].data = make([][]byte, cfg.PagesPerBlock)
+				if cfg.InitialBadBlockPPM > 0 && rng.Intn(1_000_000) < cfg.InitialBadBlockPPM {
+					dd.blocks[b].bad = true
+				}
+			}
+			ds = append(ds, dd)
+		}
+		a.dies = append(a.dies, ds)
+	}
+	return a
+}
+
+// Config returns the array geometry.
+func (a *Array) Config() Config { return a.cfg }
+
+// Capacity returns the raw capacity in bytes (including bad blocks).
+func (a *Array) Capacity() int64 {
+	c := a.cfg
+	return int64(c.Channels) * int64(c.DiesPerChan) * int64(c.BlocksPerDie) * int64(c.PagesPerBlock) * PageSize
+}
+
+// TotalBlocks returns the number of physical blocks.
+func (a *Array) TotalBlocks() int {
+	return a.cfg.Channels * a.cfg.DiesPerChan * a.cfg.BlocksPerDie
+}
+
+func (a *Array) check(addr PageAddr) (*die, *block, error) {
+	c := a.cfg
+	if addr.Channel < 0 || addr.Channel >= c.Channels ||
+		addr.Die < 0 || addr.Die >= c.DiesPerChan ||
+		addr.Block < 0 || addr.Block >= c.BlocksPerDie ||
+		addr.Page < 0 || addr.Page >= c.PagesPerBlock {
+		return nil, nil, fmt.Errorf("nand: address %v out of range", addr)
+	}
+	d := a.dies[addr.Channel][addr.Die]
+	return d, &d.blocks[addr.Block], nil
+}
+
+// IsBad reports whether the block holding addr is marked bad.
+func (a *Array) IsBad(addr PageAddr) bool {
+	_, b, err := a.check(addr)
+	return err == nil && b.bad
+}
+
+// MarkBad marks a block bad (grown bad block after a program/erase failure).
+func (a *Array) MarkBad(addr PageAddr) {
+	if _, b, err := a.check(addr); err == nil {
+		b.bad = true
+	}
+}
+
+// Erases returns the erase count of the block holding addr.
+func (a *Array) Erases(addr PageAddr) uint64 {
+	_, b, err := a.check(addr)
+	if err != nil {
+		return 0
+	}
+	return b.erases
+}
+
+// Read fetches one page. done receives the page contents (never-programmed
+// pages read as all-0xFF, as erased NAND does) after tR plus the channel
+// transfer.
+func (a *Array) Read(addr PageAddr, done func(data []byte, err error)) {
+	d, b, err := a.check(addr)
+	if err != nil {
+		done(nil, err)
+		return
+	}
+	a.reads++
+	// Die busy for tR (array sense), then channel busy for the transfer.
+	d.busy.Acquire(a.cfg.ReadLatency, func(senseStart sim.Time) {
+		a.k.ScheduleAt(senseStart.Add(a.cfg.ReadLatency), func() {
+			a.channels[addr.Channel].Acquire(a.cfg.TransferPerPage, func(start sim.Time) {
+				buf := make([]byte, PageSize)
+				switch {
+				case b.data[addr.Page] != nil:
+					copy(buf, b.data[addr.Page])
+				case b.programmed[addr.Page] && b.zero[addr.Page]:
+					// all-zero page, stored deduplicated
+				default:
+					for i := range buf {
+						buf[i] = 0xFF
+					}
+				}
+				// ECC: raw bit errors are corrected up to the code's budget;
+				// beyond it the read fails and the (corrupted) data must not
+				// be served.
+				var eccErr error
+				if errs := a.sampleBitErrors(); errs > 0 {
+					if errs <= a.cfg.ECCCorrectableBits {
+						a.correctedBits += uint64(errs)
+					} else {
+						a.uncorrectable++
+						for i := 0; i < errs; i++ {
+							bit := a.errRng.Intn(PageSize * 8)
+							buf[bit/8] ^= 1 << uint(bit%8)
+						}
+						eccErr = fmt.Errorf("nand: uncorrectable ECC error at %v (%d bit errors > %d correctable)",
+							addr, errs, a.cfg.ECCCorrectableBits)
+					}
+				}
+				a.k.ScheduleAt(start.Add(a.cfg.TransferPerPage), func() { done(buf, eccErr) })
+			})
+		})
+	})
+}
+
+// Program writes one page. NAND constraints are enforced: the block must not
+// be bad, the page must be erased, and pages within a block must be written
+// in order. done receives any error after transfer plus tPROG.
+func (a *Array) Program(addr PageAddr, data []byte, done func(err error)) {
+	d, b, err := a.check(addr)
+	if err != nil {
+		if done != nil {
+			done(err)
+		}
+		return
+	}
+	if len(data) != PageSize {
+		if done != nil {
+			done(fmt.Errorf("nand: program size %d != page size %d", len(data), PageSize))
+		}
+		return
+	}
+	var owned []byte
+	if !allZero(data) {
+		owned = make([]byte, PageSize)
+		copy(owned, data)
+	}
+	// Channel transfer first (controller pushes data to the die's page
+	// register), then the die is busy for tPROG. Legality is checked when
+	// the die takes the operation: commands queue at the die, so a pipelined
+	// program to page N+1 issued while page N is still in flight is legal.
+	a.channels[addr.Channel].Acquire(a.cfg.TransferPerPage, func(xferStart sim.Time) {
+		a.k.ScheduleAt(xferStart.Add(a.cfg.TransferPerPage), func() {
+			d.busy.Acquire(a.cfg.ProgramLatency, func(start sim.Time) {
+				var err error
+				switch {
+				case b.bad:
+					err = fmt.Errorf("nand: program to bad block %v", addr)
+				case b.programmed[addr.Page]:
+					err = fmt.Errorf("nand: overwrite of programmed page %v without erase", addr)
+				case addr.Page != b.nextPage:
+					err = fmt.Errorf("nand: out-of-order program %v (next programmable page is %d)", addr, b.nextPage)
+				}
+				if err != nil {
+					a.programFails++
+					if done != nil {
+						a.k.ScheduleAt(start.Add(a.cfg.ProgramLatency), func() { done(err) })
+					}
+					return
+				}
+				a.programs++
+				b.data[addr.Page] = owned
+				b.zero[addr.Page] = owned == nil
+				b.programmed[addr.Page] = true
+				b.nextPage = addr.Page + 1
+				if done != nil {
+					a.k.ScheduleAt(start.Add(a.cfg.ProgramLatency), func() { done(nil) })
+				}
+			})
+		})
+	})
+}
+
+// Erase wipes a block, incrementing its wear counter.
+func (a *Array) Erase(addr PageAddr, done func(err error)) {
+	d, b, err := a.check(addr)
+	if err != nil {
+		if done != nil {
+			done(err)
+		}
+		return
+	}
+	if b.bad {
+		if done != nil {
+			done(fmt.Errorf("nand: erase of bad block %v", addr))
+		}
+		return
+	}
+	a.erases++
+	d.busy.Acquire(a.cfg.EraseLatency, func(start sim.Time) {
+		b.erases++
+		for i := range b.programmed {
+			b.programmed[i] = false
+			b.zero[i] = false
+			b.data[i] = nil
+		}
+		b.nextPage = 0
+		if done != nil {
+			a.k.ScheduleAt(start.Add(a.cfg.EraseLatency), func() { done(nil) })
+		}
+	})
+}
+
+// Stats reports operation counters.
+func (a *Array) Stats() (reads, programs, erases, programFails uint64) {
+	return a.reads, a.programs, a.erases, a.programFails
+}
+
+// ECCStats reports corrected bits and uncorrectable codewords.
+func (a *Array) ECCStats() (correctedBits, uncorrectable uint64) {
+	return a.correctedBits, a.uncorrectable
+}
+
+// sampleBitErrors draws the number of raw bit errors in one page read:
+// a Poisson sample with mean RBER * pageBits (inversion method; the mean is
+// tiny for healthy media, so this is cheap).
+func (a *Array) sampleBitErrors() int {
+	lambda := a.cfg.RawBitErrorRate * float64(PageSize*8)
+	if lambda <= 0 {
+		return 0
+	}
+	// Knuth inversion; fine for lambda up to a few hundred.
+	l := mathExp(-lambda)
+	k := 0
+	p := 1.0
+	for {
+		p *= a.errRng.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+		if k > 1<<16 {
+			return k // pathological RBER; cap the loop
+		}
+	}
+}
+
+// mathExp avoids importing math for one call site... it simply wraps it.
+func mathExp(x float64) float64 { return math.Exp(x) }
+
+// MaxWear returns the highest erase count across all blocks.
+func (a *Array) MaxWear() uint64 {
+	var m uint64
+	for _, ds := range a.dies {
+		for _, d := range ds {
+			for i := range d.blocks {
+				if d.blocks[i].erases > m {
+					m = d.blocks[i].erases
+				}
+			}
+		}
+	}
+	return m
+}
+
+// TotalErases sums erase counts across all blocks.
+func (a *Array) TotalErases() uint64 {
+	var s uint64
+	for _, ds := range a.dies {
+		for _, d := range ds {
+			for i := range d.blocks {
+				s += d.blocks[i].erases
+			}
+		}
+	}
+	return s
+}
+
+// allZero reports whether every byte of p is zero. All-zero pages are
+// stored deduplicated: a simulator memory optimization that lets tests
+// prefill full-size devices cheaply without changing observable behaviour.
+func allZero(p []byte) bool {
+	for _, b := range p {
+		if b != 0 {
+			return false
+		}
+	}
+	return true
+}

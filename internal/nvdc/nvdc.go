@@ -1,0 +1,566 @@
+// Package nvdc is the NVDIMM-C device driver (§IV-B/§IV-C): the software
+// half of the co-design. It exposes the Z-NAND capacity as a block device
+// whose blocks are served from the reserved DRAM region, manages that region
+// as a fully associative 4 KB-slot cache (LRC by default), orchestrates
+// cachefill and writeback through the CP area, and maintains CPU-cache
+// coherence around the NVMC's invisible tRFC-window transfers (§V-B) with
+// explicit clflush/sfence.
+//
+// All driver work is expressed against the simulated machine: CP commands
+// are iMC bus writes into the CP area, acks are polled with uncached bus
+// reads, and CPU-side costs (victim search, PTE and metadata updates, cache
+// flushes) are charged as simulated time on the driver lock so that
+// multi-thread contention behaves like the real lock would.
+package nvdc
+
+import (
+	"fmt"
+
+	"nvdimmc/internal/cp"
+	"nvdimmc/internal/cpucache"
+	"nvdimmc/internal/hostmem"
+	"nvdimmc/internal/imc"
+	"nvdimmc/internal/sim"
+)
+
+// PageSize is the driver's management granularity (§IV-B: mappings of
+// Z-NAND and DRAM pages are kept at 4 KB).
+const PageSize = 4096
+
+// Config parameterizes the driver.
+type Config struct {
+	Layout hostmem.Layout
+	// Policy selects the victim replacement algorithm (PoC: LRC).
+	Policy Policy
+	// TrackDirty enables dirty bits so clean victims skip writeback. The
+	// PoC does not track dirtiness: every eviction writes back, which is
+	// why pure-read misses still pay the writeback (§VII-B2).
+	TrackDirty bool
+	// CombineWBCF issues eviction writeback + cachefill as one OpCombined
+	// command (future work §VII-C item 4).
+	CombineWBCF bool
+
+	// UnsafeNoFlush disables the §V-B clflush+sfence discipline before
+	// writebacks and the invalidate after cachefills. FOR THE COHERENCE
+	// ABLATION ONLY: with a CPU cache in the path, evictions then write
+	// stale lines to NVM and fills are shadowed by stale lines — the data
+	// corruption the paper's driver exists to prevent.
+	UnsafeNoFlush bool
+
+	// CPQueueDepth is the number of CP mailbox slots the driver pipelines
+	// across (1 on the PoC; §VII-C item 2 needs BOTH device slots and this
+	// driver-side dispatch to help). Must not exceed the NVMC's
+	// CommandDepth.
+	CPQueueDepth int
+
+	// CPU-side cost model.
+	MapCost         sim.Duration // victim search + PTE + metadata update per miss
+	FlushCost4K     sim.Duration // clflush loop over one 4 KB slot + sfence
+	CPWriteCost     sim.Duration // build/store/flush the CP cacheline
+	AckPollInterval sim.Duration // delay between ack polls
+
+	// MediaWritten reports whether a block has data on the NVM media (the
+	// filesystem's written/unwritten-extent knowledge; core wires it to the
+	// FTL mapping). Faults on unwritten blocks taken from the FREE slot
+	// pool skip the CP cachefill and zero the slot locally — without this
+	// fast path the Fig. 7 free-slot phase could never reach the SSD-bound
+	// 518 MB/s (a CP cachefill alone caps at ~175 MB/s). The PoC's eviction
+	// path still pays the full writeback+cachefill pair (§VII-B1).
+	MediaWritten func(lpn int64) bool
+
+	// Hypothetical device mode (§VII-D1 / Fig. 12): the CP path is bypassed
+	// and each miss step waits a programmable delay tD instead of talking
+	// to the FPGA. Data is NOT moved (the hypothetical PoC's FPGA "does
+	// nothing"), so this mode is for performance experiments only.
+	Hypothetical bool
+	TD           sim.Duration
+	// TDWaits is the nominal number of refresh-window delays per miss
+	// (3 per §V-A: poll, data, status).
+	TDWaits int
+	// TDOverlap is the fraction of each wait hidden by pipelining with the
+	// driver's own mapping work and the ack-free hypothetical path. The
+	// exposed stall per miss is TDWaits*TD*(1-TDOverlap). Calibrated so the
+	// single-thread Fig. 12 bandwidths land near the paper's.
+	TDOverlap float64
+}
+
+// DefaultConfig returns the PoC-like driver configuration for the layout.
+func DefaultConfig(layout hostmem.Layout) Config {
+	return Config{
+		Layout:          layout,
+		Policy:          PolicyLRC,
+		TrackDirty:      false,
+		MapCost:         1200 * sim.Nanosecond,
+		FlushCost4K:     2 * sim.Microsecond,
+		CPWriteCost:     300 * sim.Nanosecond,
+		AckPollInterval: 600 * sim.Nanosecond,
+		TDWaits:         3,
+		TDOverlap:       0.7,
+	}
+}
+
+// Stats aggregates driver behaviour.
+type Stats struct {
+	Hits, Misses    uint64
+	Evictions       uint64
+	Writebacks      uint64
+	Cachefills      uint64
+	CombinedCmds    uint64
+	AckPolls        uint64
+	CoalescedFaults uint64 // faults that piggybacked on an in-flight miss
+	FastFills       uint64 // free-slot fills of unwritten blocks (no CP)
+	FreeSlots       int
+	ResidentPages   int
+}
+
+type slotState struct {
+	lpn   int64 // -1 if free
+	dirty bool
+}
+
+const noLPN = int64(-1)
+
+type cpRequest struct {
+	cmd  cp.Command
+	done func(status cp.Status)
+}
+
+type cpSlot struct {
+	phase bool
+	busy  bool
+}
+
+// Driver is the nvdc driver instance for one NVDIMM-C module.
+type Driver struct {
+	k     *sim.Kernel
+	mc    *imc.Controller
+	cache *cpucache.Cache // optional functional CPU cache
+	cfg   Config
+
+	slots   []slotState
+	free    []int
+	mapping map[int64]int // block lpn -> slot
+	rep     replacer
+
+	inflight map[int64][]func(slot int)
+
+	// CP mailbox slots: the PoC has one; with CPQueueDepth > 1 the driver
+	// round-robins commands across slots and polls their acks concurrently.
+	cpSlots []cpSlot
+	cpQueue []cpRequest
+
+	// lock serializes the driver's mapping-manipulation critical sections.
+	lock *sim.Resource
+
+	// metaShadow is the driver's authoritative copy of the metadata area.
+	metaShadow  []byte
+	metaEntries []cp.MetaEntry
+
+	capacityPages int64
+
+	stats Stats
+}
+
+// New builds a driver over the iMC-attached module. capacityPages is the
+// block device size in 4 KB pages (the FTL's logical capacity). cache may be
+// nil when only the timing path is exercised.
+func New(k *sim.Kernel, mc *imc.Controller, cache *cpucache.Cache, capacityPages int64, cfg Config) (*Driver, error) {
+	if err := cfg.Layout.Validate(); err != nil {
+		return nil, err
+	}
+	if cp.MaxMetaEntries(cfg.Layout.MetaSize) < cfg.Layout.NumSlots {
+		return nil, fmt.Errorf("nvdc: metadata area (%d B) cannot index %d slots",
+			cfg.Layout.MetaSize, cfg.Layout.NumSlots)
+	}
+	if cfg.TDWaits <= 0 {
+		cfg.TDWaits = 3
+	}
+	if cfg.CPQueueDepth < 1 {
+		cfg.CPQueueDepth = 1
+	}
+	d := &Driver{
+		k:             k,
+		mc:            mc,
+		cache:         cache,
+		cfg:           cfg,
+		slots:         make([]slotState, cfg.Layout.NumSlots),
+		mapping:       make(map[int64]int),
+		rep:           newReplacer(cfg.Policy, cfg.Layout.NumSlots),
+		inflight:      make(map[int64][]func(int)),
+		lock:          sim.NewResource(k, "nvdc-lock"),
+		cpSlots:       make([]cpSlot, cfg.CPQueueDepth),
+		metaShadow:    make([]byte, cfg.Layout.MetaSize),
+		metaEntries:   make([]cp.MetaEntry, cfg.Layout.NumSlots),
+		capacityPages: capacityPages,
+	}
+	for i := range d.slots {
+		d.slots[i].lpn = noLPN
+		d.free = append(d.free, i)
+	}
+	if err := cp.EncodeMeta(d.metaShadow, d.metaEntries); err != nil {
+		return nil, err
+	}
+	// Initialize the metadata area in DRAM so a power failure before any
+	// mapping change finds a valid (empty) table.
+	mc.Write(cfg.Layout.MetaOffset, d.metaShadow, nil)
+	return d, nil
+}
+
+// CapacityPages returns the block device size in 4 KB pages.
+func (d *Driver) CapacityPages() int64 { return d.capacityPages }
+
+// Stats returns a snapshot of the driver counters.
+func (d *Driver) Stats() Stats {
+	s := d.stats
+	s.FreeSlots = len(d.free)
+	s.ResidentPages = len(d.mapping)
+	return s
+}
+
+// Config returns the driver configuration.
+func (d *Driver) Config() Config { return d.cfg }
+
+// SlotOf reports the slot caching lpn, or -1.
+func (d *Driver) SlotOf(lpn int64) int {
+	if s, ok := d.mapping[lpn]; ok {
+		return s
+	}
+	return -1
+}
+
+// IsResident reports whether lpn is in the DRAM cache.
+func (d *Driver) IsResident(lpn int64) bool { return d.SlotOf(lpn) >= 0 }
+
+// Serialize runs fn after holding the driver's device lock for hold time —
+// the per-op radix-tree lookup and coherence bookkeeping every fsdax access
+// performs. Miss-path critical sections contend on the same lock.
+func (d *Driver) Serialize(hold sim.Duration, fn func()) {
+	d.lock.Acquire(hold, func(start sim.Time) {
+		d.k.ScheduleAt(start.Add(hold), fn)
+	})
+}
+
+// --- Fault path -----------------------------------------------------------
+
+// Fault is the DAX page-fault path (Fig. 6): it guarantees lpn is resident
+// and calls done with its slot. write marks the slot dirty. Concurrent
+// faults on the same lpn coalesce onto one miss.
+func (d *Driver) Fault(lpn int64, write bool, done func(slot int)) {
+	if lpn < 0 || lpn >= d.capacityPages {
+		panic(fmt.Sprintf("nvdc: fault lpn %d out of device range %d", lpn, d.capacityPages))
+	}
+	if slot, ok := d.mapping[lpn]; ok {
+		d.stats.Hits++
+		d.rep.Touch(slot)
+		if write {
+			d.markDirty(slot)
+		}
+		done(slot)
+		return
+	}
+	if waiters, ok := d.inflight[lpn]; ok {
+		d.stats.CoalescedFaults++
+		d.inflight[lpn] = append(waiters, func(slot int) {
+			if write {
+				d.markDirty(slot)
+			}
+			done(slot)
+		})
+		return
+	}
+	d.stats.Misses++
+	d.inflight[lpn] = []func(int){func(slot int) {
+		if write {
+			d.markDirty(slot)
+		}
+		done(slot)
+	}}
+	d.missPath(lpn)
+}
+
+func (d *Driver) markDirty(slot int) {
+	if !d.slots[slot].dirty {
+		d.slots[slot].dirty = true
+		d.metaEntries[slot].Dirty = true
+		d.writeMetaEntry(slot)
+	}
+}
+
+// missPath runs the cachefill (and possibly eviction writeback) for lpn.
+func (d *Driver) missPath(lpn int64) {
+	// Step 1 (under the driver lock): claim a slot, evicting if needed.
+	d.lock.Acquire(d.cfg.MapCost/2, func(start sim.Time) {
+		d.k.ScheduleAt(start.Add(d.cfg.MapCost/2), func() {
+			slot, victimLPN, needWB := d.claimSlot()
+			// Fast path: a free slot for a block with nothing on the media
+			// needs no CP round trip — zero the slot locally and map it.
+			// Without this path the Fig. 7 free-slot phase could never be
+			// SSD-bound (a CP cachefill alone caps at ~175 MB/s).
+			if victimLPN == noLPN && !needWB && !d.cfg.Hypothetical &&
+				d.cfg.MediaWritten != nil && !d.cfg.MediaWritten(lpn) {
+				d.stats.FastFills++
+				d.mc.Write(d.cfg.Layout.SlotAddr(slot), make([]byte, PageSize), func() {
+					if d.cache != nil {
+						d.cache.Invalidate(d.cfg.Layout.SlotAddr(slot), PageSize)
+					}
+					d.install(lpn, slot)
+				})
+				return
+			}
+			d.transfer(lpn, slot, victimLPN, needWB)
+		})
+	})
+}
+
+// claimSlot picks the slot that will receive lpn's data. It returns the
+// victim's lpn (noLPN if the slot was free) and whether a writeback is
+// needed.
+func (d *Driver) claimSlot() (slot int, victimLPN int64, needWB bool) {
+	if len(d.free) > 0 {
+		slot = d.free[len(d.free)-1]
+		d.free = d.free[:len(d.free)-1]
+		return slot, noLPN, false
+	}
+	slot = d.rep.Victim()
+	if slot < 0 {
+		panic("nvdc: no free slot and no victim")
+	}
+	d.stats.Evictions++
+	victimLPN = d.slots[slot].lpn
+	// Unmap immediately: concurrent access to the victim page becomes a
+	// miss that queues behind this slot transition via the CP mailbox.
+	delete(d.mapping, victimLPN)
+	needWB = !d.cfg.TrackDirty || d.slots[slot].dirty
+	d.slots[slot].lpn = noLPN
+	d.metaEntries[slot].Valid = false
+	d.writeMetaEntry(slot)
+	return slot, victimLPN, needWB
+}
+
+// transfer performs writeback (if needed) then cachefill, then installs the
+// mapping.
+func (d *Driver) transfer(lpn int64, slot int, victimLPN int64, needWB bool) {
+	finish := func() {
+		// CPU cachelines over the slot hold pre-fill data: invalidate so
+		// loads observe the NVMC's fresh bytes (§V-B).
+		if d.cache != nil && !d.cfg.UnsafeNoFlush {
+			d.cache.Invalidate(d.cfg.Layout.SlotAddr(slot), PageSize)
+		}
+		d.install(lpn, slot)
+	}
+
+	if d.cfg.Hypothetical {
+		// Fig. 12 mode: no FPGA communication; the driver waits TDWaits
+		// programmable delays per miss (§VII-D1), of which TDOverlap is
+		// hidden behind the driver's own mapping work and the ack-free
+		// pipeline — the single-thread bandwidths the paper reports imply
+		// an exposed stall of roughly one tD per access (see the Fig. 12
+		// calibration note in EXPERIMENTS.md).
+		stall := sim.Duration(float64(d.cfg.TDWaits) * float64(d.cfg.TD) * (1 - d.cfg.TDOverlap))
+		d.k.Schedule(stall, finish)
+		return
+	}
+
+	cachefill := func() {
+		d.stats.Cachefills++
+		d.sendCP(cp.Command{Opcode: cp.OpCachefill, DRAMSlot: uint32(slot), NANDPage: uint32(lpn)},
+			func(cp.Status) { finish() })
+	}
+
+	if !needWB {
+		cachefill()
+		return
+	}
+
+	// Coherence discipline before the NVMC reads the slot: flush + fence.
+	flushDone := func() {
+		if d.cfg.CombineWBCF {
+			d.stats.CombinedCmds++
+			d.sendCP(cp.Command{
+				Opcode: cp.OpCombined,
+				// Primary pair = cachefill, secondary = writeback (§cp).
+				DRAMSlot: uint32(slot), NANDPage: uint32(lpn),
+				DRAMSlot2: uint32(slot), NANDPage2: uint32(victimLPN),
+			}, func(cp.Status) { finish() })
+			return
+		}
+		d.stats.Writebacks++
+		d.sendCP(cp.Command{Opcode: cp.OpWriteback, DRAMSlot: uint32(slot), NANDPage: uint32(victimLPN)},
+			func(cp.Status) { cachefill() })
+	}
+	if d.cache != nil && !d.cfg.UnsafeNoFlush {
+		if err := d.cache.Clflush(d.cfg.Layout.SlotAddr(slot), PageSize); err != nil {
+			panic(fmt.Sprintf("nvdc: clflush: %v", err))
+		}
+		d.cache.SFence()
+	}
+	d.k.Schedule(d.cfg.FlushCost4K, flushDone)
+}
+
+// install maps lpn to slot under the driver lock: mapping + PTE + metadata
+// update, then wake the fault waiters.
+func (d *Driver) install(lpn int64, slot int) {
+	d.lock.Acquire(d.cfg.MapCost/2, func(start sim.Time) {
+		d.k.ScheduleAt(start.Add(d.cfg.MapCost/2), func() {
+			d.mapping[lpn] = slot
+			d.slots[slot] = slotState{lpn: lpn, dirty: false}
+			d.rep.Insert(slot)
+			d.metaEntries[slot] = cp.MetaEntry{NANDPage: uint32(lpn), Valid: true}
+			d.writeMetaEntry(slot)
+			waiters := d.inflight[lpn]
+			delete(d.inflight, lpn)
+			for _, w := range waiters {
+				w(slot)
+			}
+		})
+	})
+}
+
+// writeMetaEntry updates slot's entry and the header in the DRAM metadata
+// area (two small bus writes; the CPU cost is folded into MapCost).
+func (d *Driver) writeMetaEntry(slot int) {
+	if err := cp.EncodeMetaEntry(d.metaShadow, slot, d.metaEntries[slot]); err != nil {
+		panic(fmt.Sprintf("nvdc: meta entry: %v", err))
+	}
+	if err := cp.EncodeMetaHeader(d.metaShadow, d.metaEntries); err != nil {
+		panic(fmt.Sprintf("nvdc: meta header: %v", err))
+	}
+	off := int64(16 + slot*4)
+	var entry [4]byte
+	copy(entry[:], d.metaShadow[off:off+4])
+	var header [16]byte
+	copy(header[:], d.metaShadow[:16])
+	d.mc.Write(d.cfg.Layout.MetaOffset+off, entry[:], nil)
+	d.mc.Write(d.cfg.Layout.MetaOffset, header[:], nil)
+}
+
+// Trim drops lpn from the cache without writeback (block discard: the
+// filesystem freed the block, so its contents are dead). The slot returns
+// to the free pool.
+func (d *Driver) Trim(lpn int64) {
+	slot, ok := d.mapping[lpn]
+	if !ok {
+		return
+	}
+	delete(d.mapping, lpn)
+	d.rep.Remove(slot)
+	d.slots[slot] = slotState{lpn: noLPN}
+	d.free = append(d.free, slot)
+	d.metaEntries[slot] = cp.MetaEntry{}
+	d.writeMetaEntry(slot)
+	if d.cache != nil {
+		d.cache.Invalidate(d.cfg.Layout.SlotAddr(slot), PageSize)
+	}
+}
+
+// --- CP mailbox -----------------------------------------------------------
+
+// sendCP queues a command into the CP mailbox (queue depth 1 on the PoC,
+// §IV-C; CPQueueDepth slots when pipelining) and calls done when the device
+// acks it.
+func (d *Driver) sendCP(cmd cp.Command, done func(cp.Status)) {
+	d.cpQueue = append(d.cpQueue, cpRequest{cmd: cmd, done: done})
+	d.cpDispatch()
+}
+
+// cpDispatch hands queued commands to free mailbox slots.
+func (d *Driver) cpDispatch() {
+	for i := range d.cpSlots {
+		if len(d.cpQueue) == 0 {
+			return
+		}
+		if d.cpSlots[i].busy {
+			continue
+		}
+		req := d.cpQueue[0]
+		d.cpQueue = d.cpQueue[1:]
+		d.cpStart(i, req)
+	}
+}
+
+// CP-area layout with depth (mirrors the NVMC's): command slot i at
+// cacheline 2i, its ack at cacheline 2i+1. Slot 0 matches cp's constants.
+func cpCmdOffset(i int) int64 { return int64(128 * i) }
+func cpAckOffset(i int) int64 { return int64(128*i + 64) }
+
+func (d *Driver) cpStart(slot int, req cpRequest) {
+	sl := &d.cpSlots[slot]
+	sl.busy = true
+	sl.phase = !sl.phase
+	req.cmd.Phase = sl.phase
+	var word [16]byte
+	putUint64(word[0:8], req.cmd.Encode())
+	putUint64(word[8:16], req.cmd.EncodeSecondary())
+	// Build + store + clflush + sfence the CP cacheline, then the bus write
+	// lands it in DRAM where the NVMC's next poll sees it.
+	d.k.Schedule(d.cfg.CPWriteCost, func() {
+		d.mc.Write(d.cfg.Layout.CPOffset+cpCmdOffset(slot), word[:], func() {
+			d.pollAck(slot, req)
+		})
+	})
+}
+
+func (d *Driver) pollAck(slot int, req cpRequest) {
+	d.stats.AckPolls++
+	buf := make([]byte, 8)
+	d.mc.Read(d.cfg.Layout.CPOffset+cpAckOffset(slot), buf, func() {
+		ack := cp.DecodeAck(leUint64(buf))
+		if ack.Phase == d.cpSlots[slot].phase && (ack.Status == cp.StatusDone || ack.Status == cp.StatusError) {
+			d.cpSlots[slot].busy = false
+			st := ack.Status
+			d.cpDispatch()
+			req.done(st)
+			return
+		}
+		d.k.Schedule(d.cfg.AckPollInterval, func() { d.pollAck(slot, req) })
+	})
+}
+
+// --- Recovery ---------------------------------------------------------------
+
+// RecoverFromMetadata rebuilds the slot map from the metadata area after a
+// restart (all recovered slots are clean: the power-fail flush persisted
+// them). It returns the number of recovered mappings.
+func (d *Driver) RecoverFromMetadata(meta []byte) (int, error) {
+	entries, err := cp.DecodeMeta(meta)
+	if err != nil {
+		return 0, err
+	}
+	if len(entries) != len(d.slots) {
+		return 0, fmt.Errorf("nvdc: metadata has %d slots, driver has %d", len(entries), len(d.slots))
+	}
+	d.mapping = make(map[int64]int)
+	d.free = d.free[:0]
+	d.rep = newReplacer(d.cfg.Policy, len(d.slots))
+	n := 0
+	for i, e := range entries {
+		if e.Valid {
+			lpn := int64(e.NANDPage)
+			d.slots[i] = slotState{lpn: lpn, dirty: false}
+			d.mapping[lpn] = i
+			d.rep.Insert(i)
+			d.metaEntries[i] = cp.MetaEntry{NANDPage: e.NANDPage, Valid: true}
+			n++
+		} else {
+			d.slots[i] = slotState{lpn: noLPN}
+			d.free = append(d.free, i)
+			d.metaEntries[i] = cp.MetaEntry{}
+		}
+	}
+	copy(d.metaShadow, meta)
+	return n, nil
+}
+
+func leUint64(b []byte) uint64 {
+	var v uint64
+	for i := 7; i >= 0; i-- {
+		v = v<<8 | uint64(b[i])
+	}
+	return v
+}
+
+func putUint64(b []byte, v uint64) {
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+}

@@ -1,0 +1,166 @@
+package nvdc
+
+import "container/list"
+
+// Policy selects the victim-slot replacement algorithm.
+type Policy int
+
+// Replacement policies. The PoC uses LRC (§IV-B: least-recently *cached*, a
+// FIFO over cache insertion order, chosen for implementation simplicity).
+// LRU is the policy the paper's in-house simulation shows would lift the
+// TPC-H hit rate to 78.7–99.3% (§VII-B5); CLOCK is a cheap LRU approximation
+// included for the eviction-search ablation (§VII-C).
+const (
+	PolicyLRC Policy = iota
+	PolicyLRU
+	PolicyClock
+)
+
+func (p Policy) String() string {
+	switch p {
+	case PolicyLRC:
+		return "lrc"
+	case PolicyLRU:
+		return "lru"
+	case PolicyClock:
+		return "clock"
+	default:
+		return "policy?"
+	}
+}
+
+// replacer is the victim-selection engine. Implementations are not
+// goroutine-safe; the driver serializes access.
+type replacer interface {
+	// Insert records a newly cached slot.
+	Insert(slot int)
+	// Touch records a hit on a cached slot.
+	Touch(slot int)
+	// Victim removes and returns the slot to evict (-1 if empty).
+	Victim() int
+	// Remove deletes a slot (e.g. trimmed) without choosing it.
+	Remove(slot int)
+	// Len reports tracked slots.
+	Len() int
+}
+
+func newReplacer(p Policy, slots int) replacer {
+	switch p {
+	case PolicyLRU:
+		return newLRU()
+	case PolicyClock:
+		return newClock(slots)
+	default:
+		return newLRC()
+	}
+}
+
+// lrc is the paper's FIFO-of-caching-order policy.
+type lrc struct {
+	queue []int
+	pos   map[int]bool
+}
+
+func newLRC() *lrc { return &lrc{pos: make(map[int]bool)} }
+
+func (l *lrc) Insert(slot int) {
+	l.queue = append(l.queue, slot)
+	l.pos[slot] = true
+}
+func (l *lrc) Touch(int) {} // hits do not affect caching order
+func (l *lrc) Victim() int {
+	for len(l.queue) > 0 {
+		s := l.queue[0]
+		l.queue = l.queue[1:]
+		if l.pos[s] {
+			delete(l.pos, s)
+			return s
+		}
+	}
+	return -1
+}
+func (l *lrc) Remove(slot int) { delete(l.pos, slot) } // lazy removal
+func (l *lrc) Len() int        { return len(l.pos) }
+
+// lru is a classic move-to-front list.
+type lru struct {
+	ll  *list.List // front = most recent
+	pos map[int]*list.Element
+}
+
+func newLRU() *lru { return &lru{ll: list.New(), pos: make(map[int]*list.Element)} }
+
+func (l *lru) Insert(slot int) { l.pos[slot] = l.ll.PushFront(slot) }
+func (l *lru) Touch(slot int) {
+	if e, ok := l.pos[slot]; ok {
+		l.ll.MoveToFront(e)
+	}
+}
+func (l *lru) Victim() int {
+	e := l.ll.Back()
+	if e == nil {
+		return -1
+	}
+	l.ll.Remove(e)
+	s := e.Value.(int)
+	delete(l.pos, s)
+	return s
+}
+func (l *lru) Remove(slot int) {
+	if e, ok := l.pos[slot]; ok {
+		l.ll.Remove(e)
+		delete(l.pos, slot)
+	}
+}
+func (l *lru) Len() int { return len(l.pos) }
+
+// clock is the second-chance ring.
+type clock struct {
+	present []bool
+	ref     []bool
+	hand    int
+	n       int
+}
+
+func newClock(slots int) *clock {
+	return &clock{present: make([]bool, slots), ref: make([]bool, slots)}
+}
+
+func (c *clock) Insert(slot int) {
+	if !c.present[slot] {
+		c.present[slot] = true
+		c.n++
+	}
+	c.ref[slot] = true
+}
+func (c *clock) Touch(slot int) {
+	if c.present[slot] {
+		c.ref[slot] = true
+	}
+}
+func (c *clock) Victim() int {
+	if c.n == 0 {
+		return -1
+	}
+	for {
+		if c.present[c.hand] {
+			if c.ref[c.hand] {
+				c.ref[c.hand] = false
+			} else {
+				s := c.hand
+				c.present[s] = false
+				c.n--
+				c.hand = (c.hand + 1) % len(c.present)
+				return s
+			}
+		}
+		c.hand = (c.hand + 1) % len(c.present)
+	}
+}
+func (c *clock) Remove(slot int) {
+	if c.present[slot] {
+		c.present[slot] = false
+		c.n--
+	}
+}
+func (c *clock) Len() int { return c.n }

@@ -1,0 +1,553 @@
+// Package nvmc models the NVM controller of the NVDIMM-C board: the FPGA
+// logic plus firmware that owns the back-end Z-NAND (through the FTL) and is
+// the second master on the shared DDR4 channel. Its defining discipline is
+// §III-B: it touches the DRAM cache only inside the extra-tRFC window that
+// follows each REFRESH command the refresh detector reports, and it
+// communicates with the nvdc driver exclusively through the CP area in DRAM
+// (§IV-C) — there is no side channel, exactly as on the real board.
+//
+// The controller's latency behaviour reproduces the PoC's (§VII-B2):
+// firmware decode and DMA setup run on Cortex-A53-class cores between
+// windows, NAND reads overlap window waits, and a command needs its poll,
+// data and ack phases in (at least) separate windows unless ack-merging is
+// enabled.
+package nvmc
+
+import (
+	"fmt"
+
+	"nvdimmc/internal/bus"
+	"nvdimmc/internal/cp"
+	"nvdimmc/internal/ftl"
+	"nvdimmc/internal/hostmem"
+	"nvdimmc/internal/refdet"
+	"nvdimmc/internal/sim"
+	"nvdimmc/internal/trace"
+)
+
+// PageSize is the transfer granularity (one DRAM cache slot / NAND page).
+const PageSize = 4096
+
+// Config parameterizes the controller.
+type Config struct {
+	// MaxBytesPerWindow bounds data moved per extra-tRFC window (4 KB on
+	// the PoC; §VII-C item 3 proposes 8 KB). CP polls and acks are 64 B
+	// control reads/writes and ride along without consuming this budget.
+	MaxBytesPerWindow int
+	// CommandDepth is the number of CP command slots (1 on the PoC;
+	// §VII-C item 2 proposes more).
+	CommandDepth int
+	// FirmwareDecode is the Cortex-A53 time to decode a polled command and
+	// steer the RTL FSMs (the software-controlled data path of §VII-C).
+	FirmwareDecode sim.Duration
+	// DMASetup is the per-transfer configuration overhead before the DDR4
+	// controller can move data in a window.
+	DMASetup sim.Duration
+	// AckMergesWithData lets the 64 B ack ride in the same window as the
+	// command's 4 KB data transfer instead of a window of its own.
+	AckMergesWithData bool
+	// AckAfterProgram makes writeback acks wait for the NAND program to
+	// finish instead of acking once the data is in the controller's buffer
+	// (battery-backed, so posting is safe — the PoC posts).
+	AckAfterProgram bool
+	// WindowGuard is margin kept at the window end (signal settle).
+	WindowGuard sim.Duration
+}
+
+// DefaultConfig mirrors the PoC.
+func DefaultConfig() Config {
+	return Config{
+		MaxBytesPerWindow: PageSize,
+		CommandDepth:      1,
+		// The PoC's CPU-controlled FSMs make a writeback+cachefill pair
+		// cost ~8.9 tREFI windows instead of the 6-window theoretical
+		// minimum (§VII-B2); these decode/setup times reproduce that lag.
+		FirmwareDecode:    7 * sim.Microsecond,
+		DMASetup:          2 * sim.Microsecond,
+		AckMergesWithData: false,
+		AckAfterProgram:   false,
+		WindowGuard:       50 * sim.Nanosecond,
+	}
+}
+
+// CP area layout with depth: command slot i occupies the cacheline at
+// 128*i, its ack the cacheline at 128*i+64. Depth 1 matches cp's constants.
+func cmdOffset(i int) int64 { return int64(128 * i) }
+func ackOffset(i int) int64 { return int64(128*i + 64) }
+
+type fsmState int
+
+const (
+	engIdle fsmState = iota
+	engDecoding
+	engWaitNAND  // cachefill waiting for FTL read
+	engWriteData // cachefill: 4 KB DRAM write pending
+	engReadData  // writeback: 4 KB DRAM read pending
+	engWaitProg  // writeback waiting for NAND program (AckAfterProgram)
+	engAck       // ack write pending
+)
+
+type cmdFSM struct {
+	idx       int
+	state     fsmState
+	ready     bool // firmware prep done; may act in a window
+	cur       cp.Command
+	buf       []byte
+	lastPhase bool
+	// For OpCombined: whether the writeback half is done.
+	wbDone bool
+	// windowsUsed counts windows this command consumed (for stats).
+	windowsUsed int
+	startedAt   sim.Time
+}
+
+// Stats aggregates controller behaviour.
+type Stats struct {
+	WindowsSeen     uint64 // extra-tRFC windows entered
+	WindowsUsed     uint64 // windows in which any work was done
+	Polls           uint64
+	Cachefills      uint64
+	Writebacks      uint64
+	Combined        uint64
+	BytesToDRAM     uint64
+	BytesFromDRAM   uint64
+	AcksPosted      uint64
+	WindowsPerCmd   float64 // rolling average
+	cmdWindowsTotal uint64
+	cmdsCompleted   uint64
+}
+
+// Controller is the NVMC.
+type Controller struct {
+	k      *sim.Kernel
+	ch     *bus.Channel
+	det    *refdet.Detector
+	ftl    *ftl.FTL
+	layout hostmem.Layout
+	cfg    Config
+
+	windowStart, windowEnd sim.Time
+
+	fsms []*cmdFSM
+	rr   int
+
+	stats Stats
+
+	// enabled gates the window engine (the mechanism-off ablation drives
+	// accesses without windows to demonstrate collisions).
+	enabled bool
+
+	// onComplete, if set, observes each completed command (tests).
+	onComplete func(c cp.Command, windows int)
+
+	// Trace, when set, records window and CP activity.
+	Trace *trace.Log
+}
+
+// New wires a controller to the channel, detector and FTL. The detector's
+// OnRefresh callback is claimed by the controller.
+func New(k *sim.Kernel, ch *bus.Channel, det *refdet.Detector, f *ftl.FTL, layout hostmem.Layout, cfg Config) *Controller {
+	if cfg.MaxBytesPerWindow < PageSize {
+		panic("nvmc: window budget below one page")
+	}
+	if cfg.CommandDepth < 1 {
+		cfg.CommandDepth = 1
+	}
+	c := &Controller{
+		k: k, ch: ch, det: det, ftl: f, layout: layout, cfg: cfg,
+		enabled: true,
+	}
+	for i := 0; i < cfg.CommandDepth; i++ {
+		c.fsms = append(c.fsms, &cmdFSM{idx: i, state: engIdle, ready: true})
+	}
+	det.OnRefresh = c.onRefresh
+	return c
+}
+
+// Stats returns a copy of the counters with the rolling average resolved.
+func (c *Controller) Stats() Stats {
+	s := c.stats
+	if s.cmdsCompleted > 0 {
+		s.WindowsPerCmd = float64(s.cmdWindowsTotal) / float64(s.cmdsCompleted)
+	}
+	return s
+}
+
+// SetEnabled gates the window engine.
+func (c *Controller) SetEnabled(v bool) { c.enabled = v }
+
+// SetOnComplete registers a test observer for completed commands.
+func (c *Controller) SetOnComplete(fn func(cp.Command, int)) { c.onComplete = fn }
+
+// FTL exposes the flash translation layer (for inspection tools).
+func (c *Controller) FTL() *ftl.FTL { return c.ftl }
+
+// onRefresh is the refresh detector callback: it fires shortly after a REF
+// was seen on the CA bus; the usable window opens once the DRAM's internal
+// (standard-tRFC) refresh completes and closes at the programmed tRFC.
+func (c *Controller) onRefresh(refAt sim.Time) {
+	if !c.enabled {
+		return
+	}
+	dev := c.ch.Device()
+	start, end := refAt.Add(dev.Config().StandardTRFC), refAt.Add(dev.Config().Timing.TRFC)
+	end = end.Add(-c.cfg.WindowGuard)
+	if end <= start {
+		return // no extra window programmed: mechanism cannot run
+	}
+	c.windowStart, c.windowEnd = start, end
+	if start <= c.k.Now() {
+		c.runWindow()
+		return
+	}
+	c.k.ScheduleAt(start, c.runWindow)
+}
+
+// runWindow performs this window's work: at most MaxBytesPerWindow of data
+// plus any pending 64 B control reads/writes.
+func (c *Controller) runWindow() {
+	now := c.k.Now()
+	if now < c.windowStart || now >= c.windowEnd {
+		return // stale schedule (e.g. disabled in between)
+	}
+	c.stats.WindowsSeen++
+	if c.Trace != nil {
+		c.Trace.Addf(now, trace.KindWindow, "open until %v", c.windowEnd)
+	}
+	worked := false
+	budget := c.cfg.MaxBytesPerWindow
+
+	// Data actions first, round-robin across command slots for fairness.
+	n := len(c.fsms)
+	for i := 0; i < n && budget >= PageSize; i++ {
+		f := c.fsms[(c.rr+i)%n]
+		if !f.ready {
+			continue
+		}
+		switch f.state {
+		case engWriteData:
+			c.doWriteData(f)
+			budget -= PageSize
+			worked = true
+		case engReadData:
+			c.doReadData(f)
+			budget -= PageSize
+			worked = true
+		}
+	}
+	c.rr = (c.rr + 1) % n
+
+	// Control actions: acks then polls (64 B each; do not consume budget).
+	for _, f := range c.fsms {
+		if f.ready && f.state == engAck {
+			c.postAck(f)
+			worked = true
+		}
+	}
+	for _, f := range c.fsms {
+		if f.ready && f.state == engIdle {
+			c.pollSlot(f)
+			worked = true
+		}
+	}
+	if worked {
+		c.stats.WindowsUsed++
+	}
+}
+
+// pollSlot reads command slot f.idx from the CP area and hands it to the
+// firmware for decoding.
+func (c *Controller) pollSlot(f *cmdFSM) {
+	c.stats.Polls++
+	var word [16]byte
+	if err := c.ch.NVMCAccess(c.cpAddr(cmdOffset(f.idx)), word[:], true); err != nil {
+		panic(fmt.Sprintf("nvmc: CP poll: %v", err))
+	}
+	w := leUint64(word[0:8])
+	sec := leUint64(word[8:16])
+	cmd := cp.Decode(w, sec)
+	if cmd.Phase == f.lastPhase || cmd.Opcode == cp.OpNone {
+		return // stale or empty slot
+	}
+	if c.Trace != nil {
+		c.Trace.Addf(c.k.Now(), trace.KindCPCommand, "slot %d: %v", f.idx, cmd)
+	}
+	// New command: the firmware decodes it after the window, on its core.
+	f.state = engDecoding
+	f.ready = false
+	f.windowsUsed = 1
+	f.startedAt = c.k.Now()
+	c.k.Schedule(sim.Duration(c.windowEnd.Sub(c.k.Now()))+c.cfg.FirmwareDecode, func() {
+		c.dispatch(f, cmd)
+	})
+}
+
+// dispatch steers a decoded command into its pipeline.
+func (c *Controller) dispatch(f *cmdFSM, cmd cp.Command) {
+	f.cur = cmd
+	switch cmd.Opcode {
+	case cp.OpCachefill:
+		c.stats.Cachefills++
+		f.state = engWaitNAND
+		c.ftl.ReadPage(int64(cmd.NANDPage), func(data []byte, err error) {
+			if err != nil {
+				c.fail(f, err)
+				return
+			}
+			f.buf = data
+			// DMA setup, then the next window may move the data.
+			c.k.Schedule(c.cfg.DMASetup, func() {
+				f.state = engWriteData
+				f.ready = true
+			})
+		})
+	case cp.OpWriteback:
+		c.stats.Writebacks++
+		// DMA setup for the DRAM read; data moves in the next window.
+		c.k.Schedule(c.cfg.DMASetup, func() {
+			f.state = engReadData
+			f.ready = true
+		})
+	case cp.OpCombined:
+		c.stats.Combined++
+		f.wbDone = false
+		// Start the NAND read for the cachefill half immediately; the
+		// writeback half's DRAM read is set up in parallel.
+		nandReady := false
+		c.ftl.ReadPage(int64(cmd.NANDPage), func(data []byte, err error) {
+			if err != nil {
+				c.fail(f, err)
+				return
+			}
+			f.buf = data
+			nandReady = true
+			_ = nandReady
+		})
+		c.k.Schedule(c.cfg.DMASetup, func() {
+			f.state = engReadData // writeback half first
+			f.ready = true
+		})
+	case cp.OpFlushAll:
+		c.k.Schedule(c.cfg.FirmwareDecode, func() {
+			c.flushAll(func() {
+				f.state = engAck
+				f.ready = true
+			})
+		})
+	default:
+		c.fail(f, fmt.Errorf("nvmc: unknown opcode %v", cmd.Opcode))
+	}
+}
+
+func (c *Controller) fail(f *cmdFSM, err error) {
+	// Post an error ack so the driver does not spin forever.
+	f.state = engAck
+	f.ready = true
+	f.cur.Opcode = cp.OpNone // marks error in postAck
+}
+
+// doWriteData moves the 4 KB buffer into the DRAM cache slot (cachefill data
+// phase).
+func (c *Controller) doWriteData(f *cmdFSM) {
+	f.windowsUsed++
+	slot := f.cur.DRAMSlot
+	addr := c.layout.SlotAddr(int(slot))
+	if err := c.ch.NVMCAccess(addr, f.buf, false); err != nil {
+		panic(fmt.Sprintf("nvmc: cachefill DMA: %v", err))
+	}
+	c.stats.BytesToDRAM += uint64(len(f.buf))
+	if c.cfg.AckMergesWithData {
+		c.postAck(f)
+		return
+	}
+	// Ack in a later window, after firmware status update.
+	f.ready = false
+	c.k.Schedule(sim.Duration(c.windowEnd.Sub(c.k.Now()))+c.cfg.FirmwareDecode/2, func() {
+		f.state = engAck
+		f.ready = true
+	})
+}
+
+// doReadData moves the 4 KB slot out of DRAM (writeback data phase) and
+// hands it to the FTL.
+func (c *Controller) doReadData(f *cmdFSM) {
+	f.windowsUsed++
+	cmd := f.cur
+	slot, page := cmd.DRAMSlot, cmd.NANDPage
+	if cmd.Opcode == cp.OpCombined {
+		slot, page = cmd.DRAMSlot2, cmd.NANDPage2
+	}
+	buf := make([]byte, PageSize)
+	if err := c.ch.NVMCAccess(c.layout.SlotAddr(int(slot)), buf, true); err != nil {
+		panic(fmt.Sprintf("nvmc: writeback DMA: %v", err))
+	}
+	c.stats.BytesFromDRAM += uint64(len(buf))
+
+	programDone := func(err error) {
+		if err != nil {
+			c.fail(f, err)
+		}
+	}
+	advance := func() {
+		if cmd.Opcode == cp.OpCombined {
+			// Writeback half done; the cachefill half proceeds when the
+			// NAND read has the buffer ready.
+			f.wbDone = true
+			f.ready = false
+			f.state = engWaitNAND
+			c.k.Schedule(c.cfg.DMASetup, func() {
+				if f.buf != nil {
+					f.state = engWriteData
+					f.ready = true
+				} else {
+					// NAND read still in flight; ReadPage callback will
+					// flip the state via the poll below.
+					c.awaitNAND(f)
+				}
+			})
+			return
+		}
+		if c.cfg.AckMergesWithData {
+			c.postAck(f)
+			return
+		}
+		f.ready = false
+		c.k.Schedule(sim.Duration(c.windowEnd.Sub(c.k.Now()))+c.cfg.FirmwareDecode/2, func() {
+			f.state = engAck
+			f.ready = true
+		})
+	}
+
+	if c.cfg.AckAfterProgram && cmd.Opcode == cp.OpWriteback {
+		c.ftl.WritePage(int64(page), buf, func(err error) {
+			programDone(err)
+			advance()
+		})
+		return
+	}
+	// Posted program: the controller's battery-backed buffer holds the data;
+	// the program completes asynchronously.
+	c.ftl.WritePage(int64(page), buf, programDone)
+	advance()
+}
+
+// awaitNAND polls (on the firmware core) for the combined command's NAND
+// buffer; cheap busy-wait at firmware granularity.
+func (c *Controller) awaitNAND(f *cmdFSM) {
+	if f.buf != nil {
+		f.state = engWriteData
+		f.ready = true
+		return
+	}
+	c.k.Schedule(c.cfg.DMASetup, func() { c.awaitNAND(f) })
+}
+
+// postAck writes the ack word for f's command and recycles the slot.
+func (c *Controller) postAck(f *cmdFSM) {
+	status := cp.StatusDone
+	if f.cur.Opcode == cp.OpNone {
+		status = cp.StatusError
+	}
+	ack := cp.Ack{Phase: f.cur.Phase, Status: status}
+	var word [8]byte
+	putUint64(word[:], ack.EncodeAck())
+	if err := c.ch.NVMCAccess(c.cpAddr(ackOffset(f.idx)), word[:], false); err != nil {
+		panic(fmt.Sprintf("nvmc: ack write: %v", err))
+	}
+	if c.Trace != nil {
+		c.Trace.Addf(c.k.Now(), trace.KindCPAck, "slot %d: %v %v (%d windows)", f.idx, f.cur.Opcode, ack.Status, f.windowsUsed)
+	}
+	c.stats.AcksPosted++
+	c.stats.cmdWindowsTotal += uint64(f.windowsUsed)
+	c.stats.cmdsCompleted++
+	if c.onComplete != nil {
+		c.onComplete(f.cur, f.windowsUsed)
+	}
+	f.lastPhase = f.cur.Phase
+	f.state = engIdle
+	f.ready = false
+	f.buf = nil
+	f.wbDone = false
+	// The firmware needs a moment before it polls again; by the next window
+	// it is ready.
+	c.k.Schedule(c.cfg.FirmwareDecode/2, func() { f.ready = true })
+}
+
+// cpAddr converts a CP-area offset to a DRAM address.
+func (c *Controller) cpAddr(off int64) int64 { return c.layout.CPOffset + off }
+
+// flushAll persists every valid dirty slot per the metadata table; used for
+// orderly shutdown through the CP opcode. The power-fail path is PowerFail.
+func (c *Controller) flushAll(done func()) {
+	c.flushFromMetadata(false, func(int, error) { done() })
+}
+
+// PowerFail runs the §V-C power-loss sequence: the firmware reads the
+// DRAM-to-NAND mappings from the metadata area — ignoring the tRFC
+// serialization rule, the host is dead — and stores every valid dirty slot
+// into Z-NAND on battery power. done receives the number of pages flushed.
+func (c *Controller) PowerFail(done func(flushed int, err error)) {
+	c.enabled = false
+	c.flushFromMetadata(true, done)
+}
+
+func (c *Controller) flushFromMetadata(bypassWindows bool, done func(int, error)) {
+	meta := make([]byte, c.layout.MetaSize)
+	// Direct device read: on power fail the serialization rule is void.
+	if err := c.ch.Device().CopyOut(c.layout.MetaOffset, meta); err != nil {
+		done(0, err)
+		return
+	}
+	entries, err := cp.DecodeMeta(meta)
+	if err != nil {
+		done(0, fmt.Errorf("nvmc: metadata unreadable on power fail: %w", err))
+		return
+	}
+	type flushItem struct {
+		slot int
+		page uint32
+	}
+	var todo []flushItem
+	for slot, e := range entries {
+		if e.Valid && e.Dirty {
+			todo = append(todo, flushItem{slot: slot, page: e.NANDPage})
+		}
+	}
+	flushed := 0
+	var step func(i int)
+	step = func(i int) {
+		if i >= len(todo) {
+			done(flushed, nil)
+			return
+		}
+		e := todo[i]
+		buf := make([]byte, PageSize)
+		if err := c.ch.Device().CopyOut(c.layout.SlotAddr(e.slot), buf); err != nil {
+			done(flushed, err)
+			return
+		}
+		c.ftl.WritePage(int64(e.page), buf, func(err error) {
+			if err != nil {
+				done(flushed, err)
+				return
+			}
+			flushed++
+			step(i + 1)
+		})
+	}
+	step(0)
+}
+
+func leUint64(b []byte) uint64 {
+	var v uint64
+	for i := 7; i >= 0; i-- {
+		v = v<<8 | uint64(b[i])
+	}
+	return v
+}
+
+func putUint64(b []byte, v uint64) {
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+}

@@ -1,0 +1,92 @@
+package pmem
+
+import (
+	"bytes"
+	"testing"
+
+	"nvdimmc/internal/sim"
+)
+
+func newDev(t *testing.T, bytes int64) *Device {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.Bytes = bytes
+	d, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestFullSizeSparse(t *testing.T) {
+	// The Table I baseline is 128 GB; sparse storage must make it cheap.
+	d := newDev(t, 128<<30)
+	if d.Capacity() != 128<<30 {
+		t.Fatalf("capacity = %d", d.Capacity())
+	}
+	if d.DRAM.TouchedPages() != 0 {
+		t.Fatal("untouched device allocated pages")
+	}
+}
+
+func TestLoadStoreRoundTrip(t *testing.T) {
+	d := newDev(t, 1<<30)
+	want := []byte("pmem0 emulated nvdimm")
+	done := false
+	d.Store(123456, want, func() {
+		got := make([]byte, len(want))
+		d.Load(123456, got, func() {
+			if !bytes.Equal(got, want) {
+				t.Error("round trip mismatch")
+			}
+			done = true
+		})
+	})
+	d.K.RunFor(sim.Millisecond)
+	if !done {
+		t.Fatal("ops did not complete")
+	}
+}
+
+func TestDoChunksCompleteOnce(t *testing.T) {
+	d := newDev(t, 1<<30)
+	calls := 0
+	d.Prepare(1 << 30)
+	d.Do(0, 65536, false, func() { calls++ })
+	d.K.RunFor(10 * sim.Millisecond)
+	if calls != 1 {
+		t.Fatalf("done called %d times", calls)
+	}
+}
+
+func TestDoOutOfRangePanics(t *testing.T) {
+	d := newDev(t, 1<<20)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range op accepted")
+		}
+	}()
+	d.Do(1<<20-100, 4096, false, func() {})
+}
+
+func TestRefreshRuns(t *testing.T) {
+	d := newDev(t, 1<<30)
+	d.K.RunFor(sim.Millisecond)
+	if d.IMC.Refreshes() < 100 {
+		t.Fatalf("refreshes = %d in 1 ms, want ~128", d.IMC.Refreshes())
+	}
+	if d.DRAM.ViolationCount() != 0 {
+		t.Fatal("protocol violations on baseline")
+	}
+}
+
+func TestThreadCPUUsesFootprint(t *testing.T) {
+	d := newDev(t, 128<<30)
+	d.Prepare(1 << 30)
+	small := d.ThreadCPU(4096, false)
+	d.Prepare(120 << 30)
+	big := d.ThreadCPU(4096, false)
+	if big <= small {
+		t.Fatal("footprint not reflected in per-op cost")
+	}
+}

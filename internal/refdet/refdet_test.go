@@ -1,0 +1,220 @@
+package refdet
+
+import (
+	"testing"
+	"testing/quick"
+
+	"nvdimmc/internal/ddr4"
+	"nvdimmc/internal/sim"
+)
+
+func TestDeserializer(t *testing.T) {
+	var d Deserializer
+	// Push 0b10110010: MSB first.
+	bits := []bool{true, false, true, true, false, false, true, false}
+	for i, b := range bits[:7] {
+		if _, ready := d.Push(b); ready {
+			t.Fatalf("frame ready after %d bits", i+1)
+		}
+	}
+	w, ready := d.Push(bits[7])
+	if !ready {
+		t.Fatal("frame not ready after 8 bits")
+	}
+	if w != 0xB2 {
+		t.Fatalf("word = %#x, want 0xB2", w)
+	}
+	if d.Pending() != 0 {
+		t.Fatalf("pending = %d after frame", d.Pending())
+	}
+}
+
+func TestScanFrameFindsREFAtEveryPosition(t *testing.T) {
+	ref := ddr4.Encode(ddr4.CmdRefresh)
+	des := ddr4.Encode(ddr4.CmdDeselect)
+	for pos := 0; pos < FrameBits; pos++ {
+		var words [NumPins]uint8
+		for bit := 0; bit < FrameBits; bit++ {
+			s := des
+			if bit == pos {
+				s = ref
+			}
+			lv := PinLevels(s)
+			for p := 0; p < NumPins; p++ {
+				words[p] <<= 1
+				if lv[p] {
+					words[p] |= 1
+				}
+			}
+		}
+		if got := ScanFrame(words); got != 1 {
+			t.Errorf("REF at position %d: matches = %d, want 1", pos, got)
+		}
+	}
+}
+
+func TestScanFrameIgnoresOtherCommands(t *testing.T) {
+	for _, kind := range ddr4.AllCommandKinds {
+		if kind == ddr4.CmdRefresh {
+			continue
+		}
+		s := ddr4.Encode(kind)
+		var words [NumPins]uint8
+		lv := PinLevels(s)
+		for p := 0; p < NumPins; p++ {
+			if lv[p] {
+				words[p] = 0xFF
+			}
+		}
+		if got := ScanFrame(words); got != 0 {
+			t.Errorf("%v: matches = %d, want 0", kind, got)
+		}
+	}
+}
+
+func TestPushSampleFrameAssembly(t *testing.T) {
+	k := sim.NewKernel()
+	d := New(k, 1250*sim.Picosecond)
+	refLv := PinLevels(ddr4.Encode(ddr4.CmdRefresh))
+	desLv := PinLevels(ddr4.Encode(ddr4.CmdDeselect))
+	// Frame 1: REF at sample 3.
+	total := 0
+	for i := 0; i < FrameBits; i++ {
+		lv := desLv
+		if i == 3 {
+			lv = refLv
+		}
+		total += d.PushSample(lv)
+	}
+	if total != 1 {
+		t.Fatalf("frame matches = %d, want 1", total)
+	}
+	// Frame 2: all idle.
+	total = 0
+	for i := 0; i < FrameBits; i++ {
+		total += d.PushSample(desLv)
+	}
+	if total != 0 {
+		t.Fatalf("idle frame matches = %d, want 0", total)
+	}
+}
+
+func TestSampleCommandDetectsOnlyREF(t *testing.T) {
+	k := sim.NewKernel()
+	d := New(k, 1250*sim.Picosecond)
+	fired := 0
+	d.OnRefresh = func(sim.Time) { fired++ }
+	for _, kind := range ddr4.AllCommandKinds {
+		d.SampleCommand(k.Now(), ddr4.Encode(kind))
+	}
+	k.Run()
+	if fired != 1 {
+		t.Fatalf("OnRefresh fired %d times, want 1 (only for REF)", fired)
+	}
+	st := d.Stats()
+	if st.TruePositives != 1 || st.FalsePositives != 0 || st.MissedRefresh != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestSRESRXNeverDetected(t *testing.T) {
+	k := sim.NewKernel()
+	d := New(k, 1250*sim.Picosecond)
+	d.OnRefresh = func(sim.Time) { t.Error("detector fired on self-refresh command") }
+	d.SampleCommand(k.Now(), ddr4.Encode(ddr4.CmdSelfRefreshEntry))
+	d.SampleCommand(k.Now(), ddr4.Encode(ddr4.CmdSelfRefreshExit))
+	k.Run()
+}
+
+func TestDetectionLatencyBounded(t *testing.T) {
+	k := sim.NewKernel()
+	tck := 1250 * sim.Picosecond
+	d := New(k, tck)
+	var detectedAt sim.Time
+	d.OnRefresh = func(sim.Time) { detectedAt = k.Now() }
+	issueAt := sim.Time(100 * sim.Nanosecond)
+	k.ScheduleAt(issueAt, func() { d.SampleCommand(k.Now(), ddr4.Encode(ddr4.CmdRefresh)) })
+	k.Run()
+	lat := detectedAt.Sub(issueAt)
+	if lat <= 0 || lat > sim.Duration(FrameBits+2)*tck {
+		t.Fatalf("detection latency = %v, want (0, %v]", lat, sim.Duration(FrameBits+2)*tck)
+	}
+}
+
+func TestDisabledDetectorIgnoresEverything(t *testing.T) {
+	k := sim.NewKernel()
+	d := New(k, 1250*sim.Picosecond)
+	d.OnRefresh = func(sim.Time) { t.Error("disabled detector fired") }
+	d.SetEnabled(false)
+	d.SampleCommand(k.Now(), ddr4.Encode(ddr4.CmdRefresh))
+	k.Run()
+	if d.Stats().Samples != 0 {
+		t.Error("disabled detector sampled")
+	}
+}
+
+func TestCleanSignalNeverFalsePositive(t *testing.T) {
+	// The §VII-A property with ideal signal integrity: millions of samples,
+	// zero false positives, zero misses.
+	k := sim.NewKernel()
+	d := New(k, 1250*sim.Picosecond)
+	d.OnRefresh = func(sim.Time) {}
+	rng := sim.NewRand(99)
+	for i := 0; i < 200000; i++ {
+		kind := ddr4.AllCommandKinds[rng.Intn(len(ddr4.AllCommandKinds))]
+		d.SampleCommand(k.Now(), ddr4.Encode(kind))
+	}
+	k.Run()
+	st := d.Stats()
+	if st.FalsePositives != 0 || st.MissedRefresh != 0 {
+		t.Fatalf("clean signal produced %d false positives, %d misses", st.FalsePositives, st.MissedRefresh)
+	}
+	if st.Detections != st.TruePositives {
+		t.Fatalf("detections %d != true positives %d", st.Detections, st.TruePositives)
+	}
+}
+
+func TestNoisySignalProducesErrors(t *testing.T) {
+	// With a large injected bit-error rate the detector must start missing
+	// refreshes and (eventually) false-positive — demonstrating why the
+	// paper invested in impedance/termination tuning.
+	k := sim.NewKernel()
+	d := New(k, 1250*sim.Picosecond)
+	d.BitErrorRate = 0.05
+	d.OnRefresh = func(sim.Time) {}
+	for i := 0; i < 50000; i++ {
+		d.SampleCommand(k.Now(), ddr4.Encode(ddr4.CmdRefresh))
+		d.SampleCommand(k.Now(), ddr4.Encode(ddr4.CmdRead))
+	}
+	k.Run()
+	st := d.Stats()
+	if st.MissedRefresh == 0 {
+		t.Error("5% BER produced zero missed refreshes")
+	}
+	if st.FalsePositives == 0 {
+		t.Error("5% BER produced zero false positives")
+	}
+}
+
+// Property: for any random frame content, ScanFrame's match count equals the
+// number of positions whose reassembled CA state is the REF encoding.
+func TestScanFrameProperty(t *testing.T) {
+	f := func(w0, w1, w2, w3, w4, w5 uint8) bool {
+		words := [NumPins]uint8{w0, w1, w2, w3, w4, w5}
+		want := 0
+		for bit := 0; bit < FrameBits; bit++ {
+			mask := uint8(1) << uint(FrameBits-1-bit)
+			s := ddr4.CAState{
+				CKE: w0&mask != 0, CSn: w1&mask != 0, ACTn: w2&mask != 0,
+				RASn: w3&mask != 0, CASn: w4&mask != 0, WEn: w5&mask != 0,
+			}
+			if ddr4.IsRefresh(s) {
+				want++
+			}
+		}
+		return ScanFrame(words) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,176 @@
+// Package sim provides the discrete-event simulation kernel that every
+// hardware and software model in this repository runs on.
+//
+// Time is measured in integer picoseconds so that DDR4 clock periods are
+// exact (DDR4-1600 tCK = 1250 ps). The kernel is a deterministic binary-heap
+// event queue: events scheduled for the same instant fire in the order they
+// were scheduled, so simulations are reproducible run-to-run.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is an absolute simulation instant in picoseconds since reset.
+type Time int64
+
+// Duration is a span of simulated time in picoseconds.
+type Duration int64
+
+// Convenient duration units.
+const (
+	Picosecond  Duration = 1
+	Nanosecond  Duration = 1000
+	Microsecond Duration = 1000 * Nanosecond
+	Millisecond Duration = 1000 * Microsecond
+	Second      Duration = 1000 * Millisecond
+)
+
+// Nanoseconds reports d as floating-point nanoseconds.
+func (d Duration) Nanoseconds() float64 { return float64(d) / float64(Nanosecond) }
+
+// Microseconds reports d as floating-point microseconds.
+func (d Duration) Microseconds() float64 { return float64(d) / float64(Microsecond) }
+
+// Seconds reports d as floating-point seconds.
+func (d Duration) Seconds() float64 { return float64(d) / float64(Second) }
+
+func (d Duration) String() string {
+	switch {
+	case d >= Second:
+		return fmt.Sprintf("%.3fs", d.Seconds())
+	case d >= Millisecond:
+		return fmt.Sprintf("%.3fms", float64(d)/float64(Millisecond))
+	case d >= Microsecond:
+		return fmt.Sprintf("%.3fus", d.Microseconds())
+	case d >= Nanosecond:
+		return fmt.Sprintf("%.3fns", d.Nanoseconds())
+	default:
+		return fmt.Sprintf("%dps", int64(d))
+	}
+}
+
+// Add returns the instant d after t.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the duration between t and earlier instant u.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+func (t Time) String() string { return Duration(t).String() }
+
+// Event is a scheduled callback.
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Kernel is the simulation event loop. The zero value is not usable; create
+// one with NewKernel.
+type Kernel struct {
+	now    Time
+	seq    uint64
+	events eventHeap
+	// nProcessed counts events executed since reset, for diagnostics and
+	// runaway detection in tests.
+	nProcessed uint64
+}
+
+// NewKernel returns a kernel at time zero with an empty event queue.
+func NewKernel() *Kernel {
+	k := &Kernel{}
+	heap.Init(&k.events)
+	return k
+}
+
+// Now returns the current simulation time.
+func (k *Kernel) Now() Time { return k.now }
+
+// Pending reports the number of events still queued.
+func (k *Kernel) Pending() int { return len(k.events) }
+
+// Processed reports the number of events executed so far.
+func (k *Kernel) Processed() uint64 { return k.nProcessed }
+
+// Schedule queues fn to run d picoseconds from now. A negative delay is an
+// error in the caller; it is clamped to zero so the event still fires (at the
+// current instant, after already-queued same-instant events).
+func (k *Kernel) Schedule(d Duration, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	k.seq++
+	heap.Push(&k.events, &event{at: k.now.Add(d), seq: k.seq, fn: fn})
+}
+
+// ScheduleAt queues fn to run at absolute time t (clamped to now).
+func (k *Kernel) ScheduleAt(t Time, fn func()) {
+	if t < k.now {
+		t = k.now
+	}
+	k.seq++
+	heap.Push(&k.events, &event{at: t, seq: k.seq, fn: fn})
+}
+
+// Step executes the single earliest event. It reports false when the queue
+// is empty.
+func (k *Kernel) Step() bool {
+	if len(k.events) == 0 {
+		return false
+	}
+	e := heap.Pop(&k.events).(*event)
+	if e.at > k.now {
+		k.now = e.at
+	}
+	k.nProcessed++
+	e.fn()
+	return true
+}
+
+// Run executes events until the queue is empty.
+func (k *Kernel) Run() {
+	for k.Step() {
+	}
+}
+
+// RunUntil executes events with timestamps <= deadline, then advances the
+// clock to the deadline. Events scheduled beyond the deadline remain queued.
+func (k *Kernel) RunUntil(deadline Time) {
+	for len(k.events) > 0 && k.events[0].at <= deadline {
+		k.Step()
+	}
+	if k.now < deadline {
+		k.now = deadline
+	}
+}
+
+// RunFor executes events for d picoseconds of simulated time from now.
+func (k *Kernel) RunFor(d Duration) { k.RunUntil(k.now.Add(d)) }
+
+// RunWhile steps the kernel while cond() is true and events remain. It is
+// the building block for "run until this operation completes" call sites.
+func (k *Kernel) RunWhile(cond func() bool) {
+	for cond() && k.Step() {
+	}
+}

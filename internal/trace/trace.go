@@ -1,0 +1,144 @@
+// Package trace is the bring-up observability facility: a bounded ring of
+// timestamped events from the channel, the NVMC and the driver — the
+// software equivalent of the logic analyzer hanging off the PoC board. It
+// exists to answer "what was on the bus around the failure?" questions the
+// way the authors debugged the real device.
+package trace
+
+import (
+	"fmt"
+	"io"
+
+	"nvdimmc/internal/sim"
+)
+
+// Kind classifies events.
+type Kind int
+
+// Event kinds.
+const (
+	KindCommand   Kind = iota // DDR4 command on the CA bus
+	KindRefresh               // REF specifically (also counted as Command)
+	KindWindow                // extra-tRFC window opened
+	KindNVMCData              // NVMC moved data in a window
+	KindCPCommand             // driver posted a CP command
+	KindCPAck                 // device posted an ack
+	KindFault                 // driver fault path entered
+	KindEviction              // driver evicted a slot
+	KindCollision             // bus collision (fatal on real hardware)
+	KindOther
+)
+
+var kindNames = map[Kind]string{
+	KindCommand:   "cmd",
+	KindRefresh:   "REF",
+	KindWindow:    "window",
+	KindNVMCData:  "nvmc-data",
+	KindCPCommand: "cp-cmd",
+	KindCPAck:     "cp-ack",
+	KindFault:     "fault",
+	KindEviction:  "evict",
+	KindCollision: "COLLISION",
+	KindOther:     "other",
+}
+
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Event is one trace record.
+type Event struct {
+	At     sim.Time
+	Kind   Kind
+	Detail string
+}
+
+func (e Event) String() string {
+	return fmt.Sprintf("%-12v %-10s %s", e.At, e.Kind, e.Detail)
+}
+
+// Log is a bounded ring of events with per-kind counters. The zero value is
+// disabled; create with New.
+type Log struct {
+	ring     []Event
+	next     int
+	wrapped  bool
+	counts   map[Kind]uint64
+	total    uint64
+	disabled bool
+}
+
+// New returns a log keeping the most recent capacity events.
+func New(capacity int) *Log {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Log{ring: make([]Event, capacity), counts: make(map[Kind]uint64)}
+}
+
+// SetEnabled toggles recording (counters freeze too when disabled).
+func (l *Log) SetEnabled(v bool) { l.disabled = !v }
+
+// Add records an event.
+func (l *Log) Add(at sim.Time, kind Kind, detail string) {
+	if l == nil || l.disabled {
+		return
+	}
+	l.counts[kind]++
+	l.total++
+	l.ring[l.next] = Event{At: at, Kind: kind, Detail: detail}
+	l.next++
+	if l.next == len(l.ring) {
+		l.next = 0
+		l.wrapped = true
+	}
+}
+
+// Addf records a formatted event.
+func (l *Log) Addf(at sim.Time, kind Kind, format string, args ...interface{}) {
+	if l == nil || l.disabled {
+		return
+	}
+	l.Add(at, kind, fmt.Sprintf(format, args...))
+}
+
+// Total reports events recorded since creation (including overwritten ones).
+func (l *Log) Total() uint64 { return l.total }
+
+// Count reports events of one kind.
+func (l *Log) Count(k Kind) uint64 { return l.counts[k] }
+
+// Events returns the retained events in chronological order.
+func (l *Log) Events() []Event {
+	if !l.wrapped {
+		out := make([]Event, l.next)
+		copy(out, l.ring[:l.next])
+		return out
+	}
+	out := make([]Event, 0, len(l.ring))
+	out = append(out, l.ring[l.next:]...)
+	out = append(out, l.ring[:l.next]...)
+	return out
+}
+
+// Dump writes the last n retained events (all if n <= 0) to w, followed by
+// the per-kind totals.
+func (l *Log) Dump(w io.Writer, n int) {
+	evs := l.Events()
+	if n > 0 && n < len(evs) {
+		evs = evs[len(evs)-n:]
+	}
+	for _, e := range evs {
+		fmt.Fprintln(w, e)
+	}
+	fmt.Fprintf(w, "-- %d events total:", l.total)
+	for k := KindCommand; k <= KindOther; k++ {
+		if c := l.counts[k]; c > 0 {
+			fmt.Fprintf(w, " %s=%d", k, c)
+		}
+	}
+	fmt.Fprintln(w)
+}

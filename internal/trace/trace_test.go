@@ -1,0 +1,75 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"nvdimmc/internal/sim"
+)
+
+func TestRingOrderAndWrap(t *testing.T) {
+	l := New(3)
+	for i := 0; i < 5; i++ {
+		l.Add(sim.Time(i), KindCommand, string(rune('a'+i)))
+	}
+	evs := l.Events()
+	if len(evs) != 3 {
+		t.Fatalf("retained %d, want 3", len(evs))
+	}
+	if evs[0].Detail != "c" || evs[2].Detail != "e" {
+		t.Fatalf("wrong window: %v", evs)
+	}
+	if l.Total() != 5 {
+		t.Fatalf("total = %d", l.Total())
+	}
+}
+
+func TestCounts(t *testing.T) {
+	l := New(8)
+	l.Add(0, KindRefresh, "r")
+	l.Add(0, KindRefresh, "r")
+	l.Add(0, KindCollision, "boom")
+	if l.Count(KindRefresh) != 2 || l.Count(KindCollision) != 1 {
+		t.Fatal("counters wrong")
+	}
+}
+
+func TestDisabled(t *testing.T) {
+	l := New(4)
+	l.SetEnabled(false)
+	l.Add(0, KindCommand, "x")
+	if l.Total() != 0 {
+		t.Fatal("disabled log recorded")
+	}
+	l.SetEnabled(true)
+	l.Add(0, KindCommand, "x")
+	if l.Total() != 1 {
+		t.Fatal("re-enabled log did not record")
+	}
+}
+
+func TestNilSafe(t *testing.T) {
+	var l *Log
+	l.Add(0, KindCommand, "x") // must not panic
+	l.Addf(0, KindCommand, "%d", 1)
+}
+
+func TestDump(t *testing.T) {
+	l := New(8)
+	l.Addf(sim.Time(7800*sim.Nanosecond), KindRefresh, "iMC-issued-refresh")
+	l.Add(sim.Time(8200*sim.Nanosecond), KindWindow, "open")
+	var sb strings.Builder
+	l.Dump(&sb, 0)
+	out := sb.String()
+	for _, want := range []string{"iMC-issued-refresh", "window", "2 events total"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("dump missing %q:\n%s", want, out)
+		}
+	}
+	// Last-1 truncation.
+	sb.Reset()
+	l.Dump(&sb, 1)
+	if strings.Contains(sb.String(), "iMC-issued-refresh") {
+		t.Fatal("truncated dump kept old events")
+	}
+}

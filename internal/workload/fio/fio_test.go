@@ -1,0 +1,164 @@
+package fio
+
+import (
+	"testing"
+
+	"nvdimmc/internal/pmem"
+	"nvdimmc/internal/sim"
+)
+
+func newBaseline(t *testing.T) *pmem.Device {
+	t.Helper()
+	cfg := pmem.DefaultConfig()
+	cfg.Bytes = 1 << 30
+	d, err := pmem.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestRunRandRead(t *testing.T) {
+	d := newBaseline(t)
+	res, err := Run(d, Job{
+		Pattern: RandRead, BlockSize: 4096, NumJobs: 1,
+		FileSize: 1 << 30, OpsPerThread: 500,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Meter.Ops() != 500 {
+		t.Fatalf("ops = %d, want 500", res.Meter.Ops())
+	}
+	if res.BandwidthMBps() <= 0 || res.KIOPS() <= 0 {
+		t.Fatalf("degenerate result: %v", res)
+	}
+	if res.Latency.Mean() <= 0 {
+		t.Fatal("no latency recorded")
+	}
+}
+
+func TestBaselineSingleThread4KAnchor(t *testing.T) {
+	// Fig. 8 anchor: baseline 4 KB randread @1 thread ~ 2606 MB/s.
+	cfg := pmem.DefaultConfig() // full 128 GB footprint
+	d, err := pmem.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(d, Job{
+		Pattern: RandRead, BlockSize: 4096, NumJobs: 1,
+		FileSize: 120 << 30, OpsPerThread: 2000, WarmupOps: 100,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := res.BandwidthMBps()
+	if got < 2000 || got > 3300 {
+		t.Fatalf("baseline 4K randread = %.0f MB/s, want ~2606 (+/-25%%)", got)
+	}
+}
+
+func TestThreadScalingSaturates(t *testing.T) {
+	// Fig. 9 shape: throughput grows with threads then saturates at the
+	// channel bound (paper: 8694 MB/s at 8 threads).
+	var bw []float64
+	for _, jobs := range []int{1, 4, 8, 16} {
+		d := newBaseline(t)
+		res, err := Run(d, Job{
+			Pattern: RandRead, BlockSize: 4096, NumJobs: jobs,
+			FileSize: 1 << 30, OpsPerThread: 400, WarmupOps: 50,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		bw = append(bw, res.BandwidthMBps())
+	}
+	if bw[1] < bw[0]*1.5 {
+		t.Fatalf("no scaling 1->4 threads: %v", bw)
+	}
+	if bw[3] > bw[2]*1.35 {
+		t.Fatalf("no saturation by 8 threads: %v", bw)
+	}
+	// Saturation in the 7-11 GB/s neighborhood at DDR4-1600.
+	if bw[2] < 6000 || bw[2] > 12000 {
+		t.Fatalf("8-thread plateau = %.0f MB/s, want 6-12 GB/s", bw[2])
+	}
+}
+
+func TestSequentialVsRandomOffsets(t *testing.T) {
+	d := newBaseline(t)
+	res, err := Run(d, Job{
+		Pattern: SeqRead, BlockSize: 4096, NumJobs: 1,
+		FileSize: 1 << 20, OpsPerThread: 256,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Meter.Ops() != 256 {
+		t.Fatalf("ops = %d", res.Meter.Ops())
+	}
+}
+
+func TestJobValidation(t *testing.T) {
+	d := newBaseline(t)
+	if _, err := Run(d, Job{Pattern: RandRead, BlockSize: 0}); err == nil {
+		t.Fatal("zero block size accepted")
+	}
+	if _, err := Run(d, Job{Pattern: RandRead, BlockSize: 4096, FileSize: 2 << 30}); err == nil {
+		t.Fatal("file larger than device accepted")
+	}
+	if _, err := Run(d, Job{Pattern: RandRead, BlockSize: 1 << 21, FileSize: 1 << 20}); err == nil {
+		t.Fatal("block larger than file accepted")
+	}
+}
+
+func TestWritesSlowerThanReads(t *testing.T) {
+	d := newBaseline(t)
+	r, err := Run(d, Job{Pattern: RandRead, BlockSize: 4096, FileSize: 1 << 28, OpsPerThread: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2 := newBaseline(t)
+	w, err := Run(d2, Job{Pattern: RandWrite, BlockSize: 4096, FileSize: 1 << 28, OpsPerThread: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.BandwidthMBps() >= r.BandwidthMBps() {
+		t.Fatalf("writes (%.0f) not slower than reads (%.0f)", w.BandwidthMBps(), r.BandwidthMBps())
+	}
+}
+
+func TestWarmupExcluded(t *testing.T) {
+	d := newBaseline(t)
+	res, err := Run(d, Job{
+		Pattern: RandRead, BlockSize: 4096, NumJobs: 2,
+		FileSize: 1 << 28, OpsPerThread: 100, WarmupOps: 50,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Meter.Ops() > 200 || res.Meter.Ops() < 150 {
+		t.Fatalf("measured ops = %d, want ~200 (warmup excluded)", res.Meter.Ops())
+	}
+	_ = sim.Duration(0)
+}
+
+func TestRandRWMix(t *testing.T) {
+	d := newBaseline(t)
+	res, err := Run(d, Job{
+		Pattern: RandRW, BlockSize: 4096, NumJobs: 1, ReadPct: 70,
+		FileSize: 1 << 28, OpsPerThread: 600,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Meter.Ops() != 600 {
+		t.Fatalf("ops = %d", res.Meter.Ops())
+	}
+	// The device saw both reads and writes in roughly the requested split.
+	reads, writes, _, _ := d.IMC.Stats()
+	total := float64(reads + writes)
+	if ratio := float64(writes) / total; ratio < 0.15 || ratio > 0.45 {
+		t.Fatalf("write share = %.2f, want ~0.30", ratio)
+	}
+}

@@ -1,0 +1,119 @@
+package stream
+
+import (
+	"testing"
+
+	"nvdimmc/internal/core"
+	"nvdimmc/internal/sim"
+)
+
+// flatMemory adapts a plain byte slice to the Memory interface for unit
+// tests of the kernels themselves.
+type flatMemory struct{ b []byte }
+
+func (m *flatMemory) Load(off int64, buf []byte, done func()) {
+	copy(buf, m.b[off:])
+	if done != nil {
+		done()
+	}
+}
+func (m *flatMemory) Store(off int64, data []byte, done func()) {
+	copy(m.b[off:], data)
+	if done != nil {
+		done()
+	}
+}
+
+func TestKernelsOnFlatMemory(t *testing.T) {
+	mem := &flatMemory{b: make([]byte, 1<<16)}
+	r := New(mem, 0, 256)
+	inited := false
+	r.Init(func() { inited = true })
+	if !inited {
+		t.Fatal("init did not complete")
+	}
+	for i := 0; i < 5; i++ {
+		var errs int
+		ran := false
+		r.RunIteration(func(e int) { errs, ran = e, true })
+		if !ran {
+			t.Fatal("iteration did not complete")
+		}
+		if errs != 0 {
+			t.Fatalf("iteration %d: %d verification errors on flat memory", i, errs)
+		}
+	}
+	if r.Iterations != 5 || r.Inconsistencies != 0 {
+		t.Fatalf("state: %v", r)
+	}
+}
+
+func TestCorruptionDetected(t *testing.T) {
+	mem := &flatMemory{b: make([]byte, 1<<16)}
+	r := New(mem, 0, 64)
+	r.Init(nil)
+	// Sabotage the verify path: flip a byte in c after each store by
+	// wrapping the memory. Easier: run one iteration, then corrupt and run
+	// a verify manually via another iteration with a pre-corrupted a.
+	done := false
+	r.RunIteration(func(int) { done = true })
+	if !done {
+		t.Fatal("no completion")
+	}
+	// Corrupt vector a in place; next iteration's Triad verify reads a back
+	// after storing it, so corrupt through a wrapper instead: simplest is
+	// corrupting between load and verify is not possible on flat memory —
+	// so assert the checker itself: verify against a wrong reference.
+	errs := 0
+	want := make([]float64, 64)
+	doneV := false
+	r.verify(r.aOff, want, &errs, func() { doneV = true })
+	if !doneV || errs == 0 {
+		t.Fatal("verify failed to flag corrupted data")
+	}
+}
+
+// TestAgingOnNVDIMMC is the §VII-A experiment in miniature: STREAM over the
+// NVDIMM-C stack with the refresh detector always on and NVMC window traffic
+// happening on every REFRESH; zero inconsistencies and zero collisions.
+func TestAgingOnNVDIMMC(t *testing.T) {
+	cfg := core.DefaultConfig()
+	cfg.CacheBytes = 1 << 20
+	cfg.NAND.BlocksPerDie = 32
+	cfg.NAND.PagesPerBlock = 16
+	s, err := core.NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Vectors sized beyond the slot count so evictions (NVMC traffic) occur
+	// continuously under the host STREAM traffic.
+	n := s.Layout.NumSlots * core.PageSize / 3 / 8 * 2
+	r := New(s, 0, n)
+	initDone := false
+	r.Init(func() { initDone = true })
+	if err := s.RunUntil(func() bool { return initDone }, 10*sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	iters := 3
+	for i := 0; i < iters; i++ {
+		finished := false
+		r.RunIteration(func(errs int) {
+			finished = true
+			if errs != 0 {
+				t.Errorf("iteration %d: %d inconsistencies", i, errs)
+			}
+		})
+		if err := s.RunUntil(func() bool { return finished }, 30*sim.Second); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if r.Inconsistencies != 0 {
+		t.Fatalf("aging test: %d inconsistencies", r.Inconsistencies)
+	}
+	if err := s.CheckHealth(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Driver.Stats().Evictions == 0 {
+		t.Fatal("aging test produced no NVMC traffic (vectors fit the cache?)")
+	}
+}

@@ -1,0 +1,133 @@
+package tpch
+
+import "nvdimmc/internal/sim"
+
+// TraceOptions shape the reference stream PageTrace emits.
+type TraceOptions struct {
+	// ProbeMultiplier scales probe counts. The paper's in-house simulation
+	// traced the engine's buffer accesses, which revisit hot pages
+	// (dictionaries, index nodes) far more often than the one-touch plan
+	// model used for query timing; a multiplier around 10 with skew
+	// reproduces its hit-rate band (paper: 78.7–99.3%, ours: ~81–95%,
+	// §VII-B5).
+	ProbeMultiplier int
+	// HotFraction of probes go to a hot subset of each probed column.
+	HotFraction float64
+	// HotSetFraction is that hot subset's share of the column's pages.
+	HotSetFraction float64
+}
+
+// TimingTrace are the options matching the Fig. 11 timing model: one-touch
+// uniform probes, no buffer-reuse amplification.
+func TimingTrace() TraceOptions { return TraceOptions{ProbeMultiplier: 1} }
+
+// BufferTrace are the options approximating the paper's in-house buffer
+// trace for the LRU study.
+func BufferTrace() TraceOptions {
+	return TraceOptions{ProbeMultiplier: 14, HotFraction: 0.86, HotSetFraction: 0.004}
+}
+
+// PageTrace generates the 4 KB-page reference stream of running all the
+// given queries back-to-back over a dataset of sc.TotalBytes, without a live
+// database: tables are laid out consecutively in the same proportions
+// BuildDataset uses, scans emit sequential page references over the touched
+// fraction of each column, and probes emit (optionally hot-skewed) random
+// references. The trace feeds the cpolicy simulator for the §VII-B5
+// LRC-vs-LRU hit-rate study.
+func PageTrace(specs []QuerySpec, sc Scale, seed uint64, opts TraceOptions) []int64 {
+	const pageSize = 4096
+
+	// Lay out tables and columns like BuildDataset.
+	type colRange struct{ start, pages int64 }
+	cols := make(map[string]map[string]colRange)
+	tableRange := make(map[string]colRange)
+	var cursor int64
+	for _, spec := range tableShare {
+		bytes := int64(float64(sc.TotalBytes) * spec.share)
+		rows := bytes / int64(len(spec.cols)) / 8
+		if rows < 16 {
+			rows = 16
+		}
+		m := make(map[string]colRange)
+		tblStart := cursor / pageSize
+		for _, c := range spec.cols {
+			colBytes := rows * 8
+			pages := (colBytes + pageSize - 1) / pageSize
+			m[c] = colRange{start: cursor / pageSize, pages: pages}
+			cursor += (pages) * pageSize
+		}
+		cols[spec.name] = m
+		tableRange[spec.name] = colRange{start: tblStart, pages: cursor/pageSize - tblStart}
+	}
+
+	rng := sim.NewRand(seed)
+	gb := float64(sc.TotalBytes) / float64(1<<30)
+	var trace []int64
+	for _, q := range specs {
+		for _, ph := range q.Phases {
+			cr, ok := cols[ph.Table][ph.Column]
+			if ph.TableWide {
+				cr, ok = tableRange[ph.Table]
+			}
+			if !ok {
+				continue
+			}
+			switch ph.Kind {
+			case Scan:
+				frac := ph.Fraction
+				if frac <= 0 || frac > 1 {
+					frac = 1
+				}
+				passes := ph.Passes
+				if passes < 1 {
+					passes = 1
+				}
+				n := int64(float64(cr.pages) * frac)
+				for p := 0; p < passes; p++ {
+					for i := int64(0); i < n; i++ {
+						trace = append(trace, cr.start+i)
+					}
+				}
+			case ProbePhase:
+				probes := int(float64(ph.ProbesPerGB) * gb)
+				if probes < 32 {
+					probes = 32
+				}
+				if opts.ProbeMultiplier > 1 {
+					probes *= opts.ProbeMultiplier
+				}
+				hotPages := int64(float64(cr.pages) * opts.HotSetFraction)
+				if hotPages < 1 {
+					hotPages = 1
+				}
+				for i := 0; i < probes; i++ {
+					if opts.HotFraction > 0 && rng.Float64() < opts.HotFraction {
+						trace = append(trace, cr.start+rng.Int63n(hotPages))
+					} else {
+						trace = append(trace, cr.start+rng.Int63n(cr.pages))
+					}
+				}
+			}
+		}
+	}
+	return trace
+}
+
+// DatasetPages returns how many 4 KB pages the scaled dataset occupies
+// (matching PageTrace's layout).
+func DatasetPages(sc Scale) int64 {
+	const pageSize = 4096
+	var cursor int64
+	for _, spec := range tableShare {
+		bytes := int64(float64(sc.TotalBytes) * spec.share)
+		rows := bytes / int64(len(spec.cols)) / 8
+		if rows < 16 {
+			rows = 16
+		}
+		for range spec.cols {
+			colBytes := rows * 8
+			cursor += (colBytes + pageSize - 1) / pageSize
+		}
+	}
+	return cursor
+}

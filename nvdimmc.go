@@ -1,0 +1,126 @@
+// Package nvdimmc is a production-quality Go reproduction of "NVDIMM-C: A
+// Byte-Addressable Non-Volatile Memory Module for Compatibility with
+// Standard DDR Memory Interfaces" (HPCA 2020): a DRAM-as-frontend NVDIMM in
+// which an FPGA controller (NVMC) shares the standard DDR4 channel with the
+// host iMC by confining its DRAM accesses to an extended refresh cycle
+// (tRFC) window behind every REFRESH command it snoops off the CA bus.
+//
+// The package is a façade over the full simulated system in internal/:
+//
+//	sys, _ := nvdimmc.New(nvdimmc.DefaultConfig())
+//	sys.Store(0, []byte("persistent"), nil)
+//	sys.RunFor(nvdimmc.Microseconds(100))
+//
+// Everything the paper builds is here: the DDR4 protocol and DRAM model,
+// the shared channel with collision detection, the refresh-detector RTL
+// model, the Z-NAND array and FTL, the CP mailbox protocol, the nvdc driver
+// with its LRC slot cache and coherence discipline, the pmem baseline, and
+// harnesses that regenerate every table and figure of the evaluation
+// (internal/experiments, cmd/nvdimmc-bench, bench_test.go).
+package nvdimmc
+
+import (
+	"io"
+
+	"nvdimmc/internal/core"
+	"nvdimmc/internal/ddr4"
+	"nvdimmc/internal/experiments"
+	"nvdimmc/internal/nvdc"
+	"nvdimmc/internal/pmem"
+	"nvdimmc/internal/sim"
+)
+
+// Config parameterizes an NVDIMM-C system. It is core.Config re-exported;
+// see that type for the full knob list.
+type Config = core.Config
+
+// System is a fully assembled NVDIMM-C machine (module + host).
+type System = core.System
+
+// Duration is simulated time in picoseconds.
+type Duration = sim.Duration
+
+// Convenience constructors for durations.
+func Nanoseconds(n int64) Duration  { return Duration(n) * sim.Nanosecond }
+func Microseconds(n int64) Duration { return Duration(n) * sim.Microsecond }
+func Milliseconds(n int64) Duration { return Duration(n) * sim.Millisecond }
+
+// Replacement policies for the DRAM cache slots.
+const (
+	PolicyLRC   = nvdc.PolicyLRC
+	PolicyLRU   = nvdc.PolicyLRU
+	PolicyClock = nvdc.PolicyClock
+)
+
+// Speed grades.
+const (
+	DDR4_1600 = ddr4.DDR4_1600
+	DDR4_2400 = ddr4.DDR4_2400
+)
+
+// DefaultConfig returns the laptop-scale configuration preserving the PoC's
+// ratios (16 MB DRAM cache : 128 MB Z-NAND standing in for 16 GB : 128 GB).
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// New assembles and boots a system.
+func New(cfg Config) (*System, error) { return core.NewSystem(cfg) }
+
+// Baseline is the emulated-pmem comparator (/dev/pmem0 in the paper).
+type Baseline = pmem.Device
+
+// BaselineConfig mirrors Table I's baseline module.
+func BaselineConfig() pmem.Config { return pmem.DefaultConfig() }
+
+// NewBaseline builds the comparator device.
+func NewBaseline(cfg pmem.Config) (*Baseline, error) { return pmem.New(cfg) }
+
+// ExperimentOptions control the figure/table harnesses.
+type ExperimentOptions = experiments.Options
+
+// Experiments exposes every evaluation harness keyed by the paper's
+// figure/table identifiers. Each prints its paper-vs-measured rows to
+// opts.Out and returns an error if the run could not complete.
+func Experiments(opts ExperimentOptions) map[string]func() error {
+	return map[string]func() error{
+		"table1": func() error { experiments.Table1(opts); return nil },
+		"table2": func() error { experiments.Table2(opts); return nil },
+		"aging":  func() error { _, err := experiments.Aging(opts); return err },
+		"fig7":   func() error { _, err := experiments.Fig7(opts); return err },
+		"fig8":   func() error { _, err := experiments.Fig8(opts); return err },
+		"fig9":   func() error { _, err := experiments.Fig9(opts); return err },
+		"fig10":  func() error { _, err := experiments.Fig10(opts); return err },
+		"fig11":  func() error { _, err := experiments.Fig11(opts); return err },
+		"fig12":  func() error { _, err := experiments.Fig12(opts); return err },
+		"fig13":  func() error { _, err := experiments.Fig13(opts); return err },
+		"mixed":  func() error { _, err := experiments.MixedLoad(opts); return err },
+		"lru":    func() error { _, err := experiments.LRUStudy(opts); return err },
+		"windows": func() error {
+			_, err := experiments.Windows(opts)
+			return err
+		},
+		"ablations": func() error { _, err := experiments.Ablations(opts); return err },
+		"endurance": func() error { _, err := experiments.Endurance(opts); return err },
+		"frontend":  func() error { experiments.FrontendAnalysis(opts); return nil },
+	}
+}
+
+// ExperimentNames lists the harnesses in the paper's order.
+func ExperimentNames() []string {
+	return []string{
+		"table1", "table2", "frontend", "aging", "fig7", "fig8", "fig9",
+		"fig10", "fig11", "mixed", "lru", "fig12", "fig13", "windows",
+		"ablations", "endurance",
+	}
+}
+
+// RunAll executes every harness in order, writing to out.
+func RunAll(out io.Writer, quick bool) error {
+	opts := ExperimentOptions{Quick: quick, Out: out}
+	m := Experiments(opts)
+	for _, name := range ExperimentNames() {
+		if err := m[name](); err != nil {
+			return err
+		}
+	}
+	return nil
+}
