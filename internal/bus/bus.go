@@ -12,6 +12,7 @@ import (
 
 	"nvdimmc/internal/ddr4"
 	"nvdimmc/internal/dram"
+	"nvdimmc/internal/fault"
 	"nvdimmc/internal/sim"
 	"nvdimmc/internal/trace"
 )
@@ -78,6 +79,14 @@ type Channel struct {
 	// Counters.
 	hostCommands, nvmcCommands uint64
 	hostBytes, nvmcBytes       uint64
+	snoopDrops                 uint64
+
+	// faults, when non-nil, injects transient CA snoop errors
+	// (fault.BusSnoopDrop): the sampled command never reaches the snoop
+	// taps, so a dropped REF costs the NVMC one window — the recoverable
+	// signal-integrity glitch, as opposed to a false positive, which is
+	// system-fatal by design.
+	faults *fault.Registry
 }
 
 // New returns a channel wired to dev.
@@ -127,8 +136,12 @@ func (c *Channel) collide(by Master, format string, args ...interface{}) {
 func (c *Channel) Issue(m Master, cmd ddr4.Command) {
 	now := c.k.Now()
 	state := ddr4.Encode(cmd.Kind)
-	for _, s := range c.snoops {
-		s(now, state)
+	if c.faults.Fires(fault.BusSnoopDrop) {
+		c.snoopDrops++
+	} else {
+		for _, s := range c.snoops {
+			s(now, state)
+		}
 	}
 	if m == HostIMC {
 		c.hostCommands++
@@ -235,3 +248,9 @@ func (c *Channel) NVMCAccess(addr int64, buf []byte, read bool) error {
 func (c *Channel) Stats() (hostCmds, nvmcCmds, hostBytes, nvmcBytes uint64) {
 	return c.hostCommands, c.nvmcCommands, c.hostBytes, c.nvmcBytes
 }
+
+// SetFaults attaches the fault-injection registry (nil detaches).
+func (c *Channel) SetFaults(g *fault.Registry) { c.faults = g }
+
+// SnoopDrops reports CA samples lost to injected transient snoop errors.
+func (c *Channel) SnoopDrops() uint64 { return c.snoopDrops }

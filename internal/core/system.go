@@ -16,6 +16,7 @@ import (
 	"nvdimmc/internal/cpucache"
 	"nvdimmc/internal/ddr4"
 	"nvdimmc/internal/dram"
+	"nvdimmc/internal/fault"
 	"nvdimmc/internal/ftl"
 	"nvdimmc/internal/hostmem"
 	"nvdimmc/internal/imc"
@@ -79,6 +80,19 @@ type Config struct {
 
 	// IMC holds the host memory-controller knobs.
 	IMC imc.Config
+
+	// Seed, when non-zero, master-seeds every component RNG (NAND bad-block
+	// placement and media noise, refresh-detector sampling noise) with
+	// per-component values derived via sim.SplitSeed, so an entire run
+	// replays from this one printed number.
+	Seed uint64
+
+	// FaultSeed, when non-zero, attaches a fault-injection registry
+	// (internal/fault) seeded with this value to every device model. The
+	// assembled registry is exposed as System.Faults; arm rules on it
+	// before running the workload. Zero leaves the system fault-free with
+	// only nil-check overhead in the models.
+	FaultSeed uint64
 }
 
 // DefaultConfig returns a laptop-scale system preserving the PoC's ratios:
@@ -121,6 +135,9 @@ type System struct {
 	Layout   hostmem.Layout
 	// Trace is non-nil when Config.TraceCapacity > 0.
 	Trace *trace.Log
+	// Faults is non-nil when Config.FaultSeed != 0: the seeded registry all
+	// device models consult for injected failures.
+	Faults *fault.Registry
 
 	lostWPQ int
 }
@@ -166,6 +183,14 @@ func NewSystem(cfg Config) (*System, error) {
 	det := refdet.New(k, timing.TCK)
 	det.SetEnabled(cfg.MechanismEnabled)
 	ch.AttachSnoop(det.Snoop())
+
+	// One master seed reproduces every probabilistic model: per-component
+	// streams are derived, not shared, so adding a draw in one model never
+	// perturbs another.
+	if cfg.Seed != 0 {
+		cfg.NAND.Seed = sim.SplitSeed(cfg.Seed, "nand")
+		det.SetSeed(sim.SplitSeed(cfg.Seed, "refdet"))
+	}
 
 	arr := nand.New(k, cfg.NAND)
 	f := ftl.New(k, arr, cfg.FTL)
@@ -218,6 +243,14 @@ func NewSystem(cfg Config) (*System, error) {
 		Detector: det, NAND: arr, FTL: f, NVMC: nc, Driver: drv,
 		CPUCache: cache, Layout: layout,
 	}
+	if cfg.FaultSeed != 0 {
+		g := fault.NewRegistry(k, cfg.FaultSeed)
+		arr.SetFaults(g)
+		nc.SetFaults(g)
+		ch.SetFaults(g)
+		det.SetFaults(g)
+		s.Faults = g
+	}
 	if cfg.TraceCapacity > 0 {
 		s.Trace = trace.New(cfg.TraceCapacity)
 		ch.Trace = s.Trace
@@ -269,6 +302,36 @@ func (s *System) CheckHealth() error {
 	if err := s.FTL.CheckInvariants(); err != nil {
 		return fmt.Errorf("core: %w", err)
 	}
+	// Fault accounting: without any injected fault the error paths must be
+	// silent and the driver healthy; with faults fired, the degradation
+	// state must be backed by matching counters.
+	ctr := s.Driver.Counters()
+	ds := s.Driver.Stats()
+	if s.Faults == nil || s.Faults.TotalFired() == 0 {
+		if name, v, bad := ctr.NonZero(); bad {
+			return fmt.Errorf("core: error counter %q = %d with no injected faults", name, v)
+		}
+		if ds.Mode != nvdc.ModeHealthy {
+			return fmt.Errorf("core: driver mode %v with no injected faults", ds.Mode)
+		}
+		if ds.SlotsQuarantined != 0 {
+			return fmt.Errorf("core: %d quarantined slots with no injected faults", ds.SlotsQuarantined)
+		}
+		return nil
+	}
+	if ds.Mode == nvdc.ModeDegraded && ctr.Get(nvdc.CtrModeDegraded) == 0 {
+		return fmt.Errorf("core: driver degraded without a counted transition")
+	}
+	if ds.Mode == nvdc.ModeReadOnly && ctr.Get(nvdc.CtrModeReadOnly) == 0 {
+		return fmt.Errorf("core: driver read-only without a counted transition")
+	}
+	if got, want := ds.SlotsQuarantined, int(ctr.Get(nvdc.CtrSlotQuarantined)); got != want {
+		return fmt.Errorf("core: %d quarantined slots but counter says %d", got, want)
+	}
+	if ds.Mode == nvdc.ModeHealthy &&
+		(ctr.Get(nvdc.CtrCachefillFail) != 0 || ctr.Get(nvdc.CtrWritebackFail) != 0) {
+		return fmt.Errorf("core: hard failures counted but driver still healthy")
+	}
 	return nil
 }
 
@@ -276,33 +339,58 @@ func (s *System) CheckHealth() error {
 
 // Load reads len(buf) bytes at device offset off through the DAX mapping:
 // faults make pages resident, then data moves from the DRAM cache. done runs
-// when the data is in buf.
+// when the data is in buf. Any driver failure panics; fault-injection
+// workloads use LoadErr.
 func (s *System) Load(off int64, buf []byte, done func()) {
+	s.access(off, buf, false, mustAccess(done))
+}
+
+// Store writes data at device offset off through the DAX mapping. Any driver
+// failure panics; fault-injection workloads use StoreErr.
+func (s *System) Store(off int64, data []byte, done func()) {
+	s.access(off, data, true, mustAccess(done))
+}
+
+// LoadErr is Load with driver errors (read-only mode, exhausted retries,
+// uncorrectable media) surfaced to done instead of panicking. On error the
+// prefix of buf before the failing page may already be filled.
+func (s *System) LoadErr(off int64, buf []byte, done func(error)) {
 	s.access(off, buf, false, done)
 }
 
-// Store writes data at device offset off through the DAX mapping.
-func (s *System) Store(off int64, data []byte, done func()) {
+// StoreErr is Store with driver errors surfaced to done. On error the pages
+// before the failing one have been written (and, in degraded mode, persisted).
+func (s *System) StoreErr(off int64, data []byte, done func(error)) {
 	s.access(off, data, true, done)
 }
 
-func (s *System) access(off int64, buf []byte, write bool, done func()) {
-	if off < 0 || off+int64(len(buf)) > s.Driver.CapacityPages()*PageSize {
-		panic(fmt.Sprintf("core: access [%d,%d) outside device", off, off+int64(len(buf))))
-	}
-	if len(buf) == 0 {
+func mustAccess(done func()) func(error) {
+	return func(err error) {
+		if err != nil {
+			panic(fmt.Sprintf("core: access: %v", err))
+		}
 		if done != nil {
 			done()
 		}
+	}
+}
+
+func (s *System) access(off int64, buf []byte, write bool, done func(error)) {
+	if off < 0 || off+int64(len(buf)) > s.Driver.CapacityPages()*PageSize {
+		panic(fmt.Sprintf("core: access [%d,%d) outside device", off, off+int64(len(buf))))
+	}
+	if done == nil {
+		done = func(error) {}
+	}
+	if len(buf) == 0 {
+		done(nil)
 		return
 	}
 	// Split by page, fault each, then move that page's span.
 	var step func(pos int)
 	step = func(pos int) {
 		if pos >= len(buf) {
-			if done != nil {
-				done()
-			}
+			done(nil)
 			return
 		}
 		cur := off + int64(pos)
@@ -312,29 +400,48 @@ func (s *System) access(off int64, buf []byte, write bool, done func()) {
 		if n > len(buf)-pos {
 			n = len(buf) - pos
 		}
-		s.Driver.Fault(lpn, write, func(slot int) {
+		s.Driver.FaultE(lpn, write, func(slot int, err error) {
+			if err != nil {
+				done(err)
+				return
+			}
 			addr := s.Layout.SlotAddr(slot) + pageOff
 			span := buf[pos : pos+n]
+			// In degraded mode every store is written through to the NVM
+			// media before it is acknowledged, so the suspect DRAM cache
+			// never holds the only copy of acked data.
+			next := func() { step(pos + n) }
+			if write && s.Driver.Mode() == nvdc.ModeDegraded {
+				next = func() {
+					s.Driver.FlushLPN(lpn, func(ferr error) {
+						if ferr != nil {
+							done(ferr)
+							return
+						}
+						step(pos + n)
+					})
+				}
+			}
 			if s.CPUCache != nil {
 				// Functional movement through the CPU cache; bus time is
 				// charged via the iMC below only for the cache misses the
 				// model would have had — approximated by charging the span.
-				var err error
+				var cerr error
 				if write {
-					err = s.CPUCache.Store(addr, span)
+					cerr = s.CPUCache.Store(addr, span)
 				} else {
-					err = s.CPUCache.Load(addr, span)
+					cerr = s.CPUCache.Load(addr, span)
 				}
-				if err != nil {
-					panic(fmt.Sprintf("core: cpu cache: %v", err))
+				if cerr != nil {
+					panic(fmt.Sprintf("core: cpu cache: %v", cerr))
 				}
-				s.K.Schedule(0, func() { step(pos + n) })
+				s.K.Schedule(0, next)
 				return
 			}
 			if write {
-				s.IMC.Write(addr, span, func() { step(pos + n) })
+				s.IMC.Write(addr, span, next)
 			} else {
-				s.IMC.Read(addr, span, func() { step(pos + n) })
+				s.IMC.Read(addr, span, next)
 			}
 		})
 	}
@@ -346,6 +453,10 @@ func (s *System) access(off int64, buf []byte, write bool, done func()) {
 // Unless Config.StrictADR is set, in-flight WPQ stores race the firmware
 // flush and may be lost (LostWPQWrites reports how many were).
 func (s *System) PowerFail() (int, error) {
+	// The host dies first: no driver code runs past this instant, so pending
+	// ack polls and retries must not fire (or count errors) while the
+	// battery-backed flush drains below.
+	s.Driver.Halt()
 	_, lost := s.IMC.ADRFlushRacing(!s.Config.StrictADR)
 	s.lostWPQ += lost
 	s.IMC.StopRefresh()

@@ -137,19 +137,37 @@ type Ack struct {
 	Status Status
 }
 
-// EncodeAck packs an Ack into its word.
+// ackSumMask is XORed into the payload byte to form the checksum, so that
+// neither an all-zero nor an all-ones word validates.
+const ackSumMask = 0xA5
+
+// ackSum computes the 8-bit checksum over an ack word's payload byte.
+func ackSum(payload uint8) uint8 { return payload ^ ackSumMask }
+
+// EncodeAck packs an Ack into its word: Phase in bit 0, Status in bits
+// [7:1], and an 8-bit checksum over that payload byte in bits [15:8]. The
+// checksum lets the driver reject a corrupted ack cacheline instead of
+// acting on a garbled status (the bus carries no ECC on this path).
 func (a Ack) EncodeAck() uint64 {
 	var w uint64
 	if a.Phase {
 		w |= 1
 	}
 	w |= uint64(a.Status) << 1
+	w |= uint64(ackSum(uint8(w))) << 8
 	return w
 }
 
 // DecodeAck unpacks an acknowledgment word.
 func DecodeAck(w uint64) Ack {
 	return Ack{Phase: w&1 != 0, Status: Status((w >> 1) & 0x7F)}
+}
+
+// AckChecksumOK reports whether the ack word's stored checksum matches its
+// payload. The idle (all-zero) word does not validate — the driver must keep
+// polling — and any single-bit corruption of the low 16 bits is detected.
+func AckChecksumOK(w uint64) bool {
+	return uint8(w>>8) == ackSum(uint8(w))
 }
 
 // Area layout constants within the reserved region's first 4 KB page

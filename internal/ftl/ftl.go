@@ -312,6 +312,12 @@ func (f *FTL) allocOpen(ds *dieState, gc bool) *blockMeta {
 	return bm
 }
 
+// maxProgramRetries bounds the program-fail remap loop: each attempt retires
+// the failing block and rewrites elsewhere, so hitting the bound means the
+// media is systematically refusing programs (every block failing) and the
+// write must surface an error rather than consume the whole array.
+const maxProgramRetries = 8
+
 // appendWrite places data at the next free physical page of the round-robin
 // die, updating the mapping. gc marks GC relocation traffic. commitCheck, if
 // non-nil, runs at program completion: when it reports false the write was
@@ -319,7 +325,7 @@ func (f *FTL) allocOpen(ds *dieState, gc bool) *blockMeta {
 // relocation whose source moved) and the freshly programmed page is left
 // invalid instead of clobbering the newer mapping.
 func (f *FTL) appendWrite(lpn int64, data []byte, gc bool, commitCheck func() bool, done func(error)) {
-	f.appendWriteOn(nil, lpn, data, gc, commitCheck, done)
+	f.appendWriteN(nil, lpn, data, gc, commitCheck, done, 0)
 }
 
 // appendWriteOn is appendWrite pinned to one die when target is non-nil
@@ -327,6 +333,11 @@ func (f *FTL) appendWrite(lpn int64, data []byte, gc bool, commitCheck func() bo
 // valid pages — at most PagesPerBlock-1 of them — always fit, so GC can
 // never wedge on space).
 func (f *FTL) appendWriteOn(target *dieState, lpn int64, data []byte, gc bool, commitCheck func() bool, done func(error)) {
+	f.appendWriteN(target, lpn, data, gc, commitCheck, done, 0)
+}
+
+// appendWriteN carries the program-fail retry count through remap attempts.
+func (f *FTL) appendWriteN(target *dieState, lpn int64, data []byte, gc bool, commitCheck func() bool, done func(error), attempt int) {
 	// Pick a die: the pinned one for GC, round-robin for host writes.
 	var ds *dieState
 	var bm *blockMeta
@@ -380,11 +391,19 @@ func (f *FTL) appendWriteOn(target *dieState, lpn int64, data []byte, gc bool, c
 	f.arr.Program(addr, data, func(err error) {
 		bm.inflight--
 		if err != nil {
-			// Grown bad block: retire and retry elsewhere.
+			// Grown bad block: retire and retry elsewhere, up to the remap
+			// bound — persistent program failure must surface, not consume
+			// the array block by block.
 			f.grownBad++
 			f.arr.MarkBad(bm.addr)
 			bm.nextPage = f.arr.Config().PagesPerBlock // close it
-			f.appendWrite(lpn, data, gc, commitCheck, done)
+			if attempt+1 >= maxProgramRetries {
+				if done != nil {
+					done(fmt.Errorf("ftl: program of lpn %d failed after %d remap attempts: %w", lpn, attempt+1, err))
+				}
+				return
+			}
+			f.appendWriteN(nil, lpn, data, gc, commitCheck, done, attempt+1)
 			return
 		}
 		if commitCheck != nil && !commitCheck() {

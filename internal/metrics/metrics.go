@@ -187,3 +187,83 @@ func (s *Series) Mean() float64 {
 	}
 	return sum / float64(len(s.Values))
 }
+
+// Counters is a named-counter set for error/retry/degradation accounting:
+// the driver and device models count every fault-handling transition here so
+// tests (and core.CheckHealth) can assert exactly which recovery paths ran.
+// Names are registered implicitly on first use; iteration is sorted so output
+// is deterministic.
+type Counters struct {
+	names []string
+	m     map[string]uint64
+}
+
+// NewCounters returns an empty counter set.
+func NewCounters() *Counters {
+	return &Counters{m: make(map[string]uint64)}
+}
+
+// Inc adds one to the named counter.
+func (c *Counters) Inc(name string) { c.Add(name, 1) }
+
+// Add adds n to the named counter.
+func (c *Counters) Add(name string, n uint64) {
+	if _, ok := c.m[name]; !ok {
+		c.names = append(c.names, name)
+		sort.Strings(c.names)
+	}
+	c.m[name] += n
+}
+
+// Get returns the named counter's value (0 if never touched).
+func (c *Counters) Get(name string) uint64 { return c.m[name] }
+
+// Names returns the registered counter names in sorted order.
+func (c *Counters) Names() []string {
+	out := make([]string, len(c.names))
+	copy(out, c.names)
+	return out
+}
+
+// Snapshot returns a copy of all counters.
+func (c *Counters) Snapshot() map[string]uint64 {
+	out := make(map[string]uint64, len(c.m))
+	for k, v := range c.m {
+		out[k] = v
+	}
+	return out
+}
+
+// NonZero reports whether any of the given counters is nonzero, returning
+// the first offender's name and value.
+func (c *Counters) NonZero(names ...string) (string, uint64, bool) {
+	for _, n := range names {
+		if v := c.m[n]; v != 0 {
+			return n, v, true
+		}
+	}
+	return "", 0, false
+}
+
+func (c *Counters) String() string {
+	if len(c.names) == 0 {
+		return "{}"
+	}
+	parts := make([]string, 0, len(c.names))
+	for _, n := range c.names {
+		parts = append(parts, fmt.Sprintf("%s=%d", n, c.m[n]))
+	}
+	return "{" + joinStrings(parts, " ") + "}"
+}
+
+// joinStrings avoids importing strings for one call site.
+func joinStrings(parts []string, sep string) string {
+	out := ""
+	for i, p := range parts {
+		if i > 0 {
+			out += sep
+		}
+		out += p
+	}
+	return out
+}

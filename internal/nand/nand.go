@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"math"
 
+	"nvdimmc/internal/fault"
 	"nvdimmc/internal/sim"
 )
 
@@ -106,6 +107,11 @@ type Array struct {
 	correctedBits uint64
 	uncorrectable uint64
 	errRng        *sim.Rand
+
+	// faults, when non-nil, is consulted at every media operation: read
+	// bit-flips (fault.NANDReadBitFlip), program fails (NANDProgramFail),
+	// erase fails (NANDEraseFail) and die timeouts (NANDDieTimeout).
+	faults *fault.Registry
 }
 
 // New builds the array and injects factory bad blocks.
@@ -140,6 +146,25 @@ func New(k *sim.Kernel, cfg Config) *Array {
 
 // Config returns the array geometry.
 func (a *Array) Config() Config { return a.cfg }
+
+// SetFaults attaches the fault-injection registry (nil detaches).
+func (a *Array) SetFaults(g *fault.Registry) { a.faults = g }
+
+// dieTimeoutMultiplier is the default latency multiplier for an injected
+// die timeout: long enough to trip the driver's CP ack deadline.
+const dieTimeoutMultiplier = 400
+
+// opLatency applies an injected die timeout to the nominal latency of one
+// die operation.
+func (a *Array) opLatency(nominal sim.Duration) sim.Duration {
+	if ok, mult := a.faults.FiresParam(fault.NANDDieTimeout); ok {
+		if mult <= 1 {
+			mult = dieTimeoutMultiplier
+		}
+		return nominal * sim.Duration(mult)
+	}
+	return nominal
+}
 
 // Capacity returns the raw capacity in bytes (including bad blocks).
 func (a *Array) Capacity() int64 {
@@ -196,9 +221,11 @@ func (a *Array) Read(addr PageAddr, done func(data []byte, err error)) {
 		return
 	}
 	a.reads++
-	// Die busy for tR (array sense), then channel busy for the transfer.
-	d.busy.Acquire(a.cfg.ReadLatency, func(senseStart sim.Time) {
-		a.k.ScheduleAt(senseStart.Add(a.cfg.ReadLatency), func() {
+	// Die busy for tR (array sense), then channel busy for the transfer. An
+	// injected die timeout stretches the sense phase.
+	sense := a.opLatency(a.cfg.ReadLatency)
+	d.busy.Acquire(sense, func(senseStart sim.Time) {
+		a.k.ScheduleAt(senseStart.Add(sense), func() {
 			a.channels[addr.Channel].Acquire(a.cfg.TransferPerPage, func(start sim.Time) {
 				buf := make([]byte, PageSize)
 				switch {
@@ -213,9 +240,18 @@ func (a *Array) Read(addr PageAddr, done func(data []byte, err error)) {
 				}
 				// ECC: raw bit errors are corrected up to the code's budget;
 				// beyond it the read fails and the (corrupted) data must not
-				// be served.
+				// be served. An injected fault adds raw flips on top of the
+				// sampled media rate (param = flip count; default one beyond
+				// the correction budget, i.e. an uncorrectable codeword).
 				var eccErr error
-				if errs := a.sampleBitErrors(); errs > 0 {
+				errs := a.sampleBitErrors()
+				if ok, flips := a.faults.FiresParam(fault.NANDReadBitFlip); ok {
+					if flips <= 0 {
+						flips = int64(a.cfg.ECCCorrectableBits) + 1
+					}
+					errs += int(flips)
+				}
+				if errs > 0 {
 					if errs <= a.cfg.ECCCorrectableBits {
 						a.correctedBits += uint64(errs)
 					} else {
@@ -262,7 +298,8 @@ func (a *Array) Program(addr PageAddr, data []byte, done func(err error)) {
 	// program to page N+1 issued while page N is still in flight is legal.
 	a.channels[addr.Channel].Acquire(a.cfg.TransferPerPage, func(xferStart sim.Time) {
 		a.k.ScheduleAt(xferStart.Add(a.cfg.TransferPerPage), func() {
-			d.busy.Acquire(a.cfg.ProgramLatency, func(start sim.Time) {
+			prog := a.opLatency(a.cfg.ProgramLatency)
+			d.busy.Acquire(prog, func(start sim.Time) {
 				var err error
 				switch {
 				case b.bad:
@@ -272,10 +309,16 @@ func (a *Array) Program(addr PageAddr, data []byte, done func(err error)) {
 				case addr.Page != b.nextPage:
 					err = fmt.Errorf("nand: out-of-order program %v (next programmable page is %d)", addr, b.nextPage)
 				}
+				if err == nil && a.faults.Fires(fault.NANDProgramFail) {
+					// Injected media program failure: the program-status
+					// register reports FAIL and the page contents are
+					// undefined; the FTL retires the block and rewrites.
+					err = fmt.Errorf("nand: program failed at %v (injected media fault)", addr)
+				}
 				if err != nil {
 					a.programFails++
 					if done != nil {
-						a.k.ScheduleAt(start.Add(a.cfg.ProgramLatency), func() { done(err) })
+						a.k.ScheduleAt(start.Add(prog), func() { done(err) })
 					}
 					return
 				}
@@ -285,7 +328,7 @@ func (a *Array) Program(addr PageAddr, data []byte, done func(err error)) {
 				b.programmed[addr.Page] = true
 				b.nextPage = addr.Page + 1
 				if done != nil {
-					a.k.ScheduleAt(start.Add(a.cfg.ProgramLatency), func() { done(nil) })
+					a.k.ScheduleAt(start.Add(prog), func() { done(nil) })
 				}
 			})
 		})
@@ -309,6 +352,18 @@ func (a *Array) Erase(addr PageAddr, done func(err error)) {
 	}
 	a.erases++
 	d.busy.Acquire(a.cfg.EraseLatency, func(start sim.Time) {
+		if a.faults.Fires(fault.NANDEraseFail) {
+			// Injected erase failure: the block's state is undefined; the
+			// FTL retires it as grown-bad. Contents are left untouched so a
+			// paranoid caller re-reading sees stale (not silently-erased)
+			// data.
+			if done != nil {
+				a.k.ScheduleAt(start.Add(a.cfg.EraseLatency), func() {
+					done(fmt.Errorf("nand: erase failed at %v (injected media fault)", addr))
+				})
+			}
+			return
+		}
 		b.erases++
 		for i := range b.programmed {
 			b.programmed[i] = false

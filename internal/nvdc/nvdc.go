@@ -14,18 +14,90 @@
 package nvdc
 
 import (
+	"errors"
 	"fmt"
 
 	"nvdimmc/internal/cp"
 	"nvdimmc/internal/cpucache"
 	"nvdimmc/internal/hostmem"
 	"nvdimmc/internal/imc"
+	"nvdimmc/internal/metrics"
 	"nvdimmc/internal/sim"
 )
 
 // PageSize is the driver's management granularity (§IV-B: mappings of
 // Z-NAND and DRAM pages are kept at 4 KB).
 const PageSize = 4096
+
+// Typed failures the hardened driver surfaces to callers.
+var (
+	// ErrReadOnly: the writeback path failed hard, so the driver refuses
+	// writes (and any miss that would need an eviction writeback) to keep
+	// already-acked data safe in DRAM.
+	ErrReadOnly = errors.New("nvdc: device is read-only")
+	// ErrMediaRead: a cachefill kept failing after retries (uncorrectable
+	// NAND read).
+	ErrMediaRead = errors.New("nvdc: media read failed")
+)
+
+// CPTimeoutError reports a CP command whose ack never validated within the
+// configured simulated-time deadline, across all re-issues.
+type CPTimeoutError struct {
+	Opcode   cp.Opcode
+	Slot     int
+	Attempts int
+}
+
+func (e *CPTimeoutError) Error() string {
+	return fmt.Sprintf("nvdc: CP %v on mailbox slot %d: no valid ack after %d attempts",
+		e.Opcode, e.Slot, e.Attempts)
+}
+
+// Mode is the driver's degradation state. Transitions are forward-only:
+// Healthy -> Degraded -> ReadOnly.
+type Mode int
+
+const (
+	// ModeHealthy: normal cached operation.
+	ModeHealthy Mode = iota
+	// ModeDegraded: the cache is suspect (a slot was quarantined after a
+	// hard cachefill failure); the driver still serves reads and writes
+	// but writes each acked store through to the NVM media immediately so
+	// the DRAM cache never holds the only copy.
+	ModeDegraded
+	// ModeReadOnly: the writeback path failed hard; dirty data cannot be
+	// persisted, so writes are refused. Resident pages stay readable and
+	// misses are served only from free slots (no evictions).
+	ModeReadOnly
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeHealthy:
+		return "healthy"
+	case ModeDegraded:
+		return "degraded"
+	case ModeReadOnly:
+		return "read-only"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Error-path counter names (metrics.Counters keys).
+const (
+	CtrAckTimeout      = "cp.ack.timeout"
+	CtrAckChecksumBad  = "cp.ack.checksum_bad"
+	CtrCPReissue       = "cp.reissue"
+	CtrCachefillRetry  = "cachefill.retry"
+	CtrCachefillFail   = "cachefill.hard_fail"
+	CtrWritebackFail   = "writeback.hard_fail"
+	CtrSlotQuarantined = "slot.quarantined"
+	CtrModeDegraded    = "mode.degraded"
+	CtrModeReadOnly    = "mode.readonly"
+	CtrWriteThrough    = "write.through"
+	CtrFaultFailed     = "fault.failed"
+)
 
 // Config parameterizes the driver.
 type Config struct {
@@ -59,6 +131,22 @@ type Config struct {
 	CPWriteCost     sim.Duration // build/store/flush the CP cacheline
 	AckPollInterval sim.Duration // delay between ack polls
 
+	// AckTimeout is the hard simulated-time deadline for one CP command
+	// attempt: if no checksum-valid ack carrying the expected phase bit
+	// appears within this window, the driver re-issues the command with a
+	// freshly toggled phase bit. The NVMC treats the re-issue as a new
+	// command; cachefill and writeback are idempotent page moves, so
+	// re-execution after a lost or corrupt ack is safe. Zero selects the
+	// default (1.5 ms — several times the worst healthy command latency).
+	AckTimeout sim.Duration
+	// CPRetries bounds total issues (first + re-issues) per CP command
+	// before the driver gives up with a CPTimeoutError. Zero -> default 4.
+	CPRetries int
+	// CachefillRetries bounds whole-command retries after the device acks
+	// a cachefill with an error status (transient NAND read upsets clear
+	// on a reread). Zero -> default 3.
+	CachefillRetries int
+
 	// MediaWritten reports whether a block has data on the NVM media (the
 	// filesystem's written/unwritten-extent knowledge; core wires it to the
 	// FTL mapping). Faults on unwritten blocks taken from the FREE slot
@@ -87,15 +175,18 @@ type Config struct {
 // DefaultConfig returns the PoC-like driver configuration for the layout.
 func DefaultConfig(layout hostmem.Layout) Config {
 	return Config{
-		Layout:          layout,
-		Policy:          PolicyLRC,
-		TrackDirty:      false,
-		MapCost:         1200 * sim.Nanosecond,
-		FlushCost4K:     2 * sim.Microsecond,
-		CPWriteCost:     300 * sim.Nanosecond,
-		AckPollInterval: 600 * sim.Nanosecond,
-		TDWaits:         3,
-		TDOverlap:       0.7,
+		Layout:           layout,
+		Policy:           PolicyLRC,
+		TrackDirty:       false,
+		MapCost:          1200 * sim.Nanosecond,
+		FlushCost4K:      2 * sim.Microsecond,
+		CPWriteCost:      300 * sim.Nanosecond,
+		AckPollInterval:  600 * sim.Nanosecond,
+		AckTimeout:       1500 * sim.Microsecond,
+		CPRetries:        4,
+		CachefillRetries: 3,
+		TDWaits:          3,
+		TDOverlap:        0.7,
 	}
 }
 
@@ -111,18 +202,25 @@ type Stats struct {
 	FastFills       uint64 // free-slot fills of unwritten blocks (no CP)
 	FreeSlots       int
 	ResidentPages   int
+
+	// Robustness snapshot (the per-event accounting lives in Counters()).
+	Mode             Mode
+	SlotsQuarantined int
 }
 
 type slotState struct {
 	lpn   int64 // -1 if free
 	dirty bool
+	// gen counts write faults on the slot; FlushLPN uses it to avoid
+	// clearing a dirty bit set by a store that raced the flush.
+	gen uint64
 }
 
 const noLPN = int64(-1)
 
 type cpRequest struct {
 	cmd  cp.Command
-	done func(status cp.Status)
+	done func(status cp.Status, err error)
 }
 
 type cpSlot struct {
@@ -142,7 +240,24 @@ type Driver struct {
 	mapping map[int64]int // block lpn -> slot
 	rep     replacer
 
-	inflight map[int64][]func(slot int)
+	inflight map[int64][]func(slot int, err error)
+
+	// Degradation state (forward-only; see Mode).
+	mode        Mode
+	quarantined []int
+
+	// halted: the host lost power. Pending ack polls, CP issues and new
+	// faults become silent no-ops — after the failure instant no driver code
+	// runs, so nothing may count errors or complete callbacks. Cleared by
+	// RecoverFromMetadata (the reboot).
+	halted bool
+
+	// OnModeChange, if set, observes degradation transitions (core wires a
+	// logger/metric; tests assert on it).
+	OnModeChange func(to Mode, reason string)
+
+	// errs counts every error, retry and degradation event by name.
+	errs *metrics.Counters
 
 	// CP mailbox slots: the PoC has one; with CPQueueDepth > 1 the driver
 	// round-robins commands across slots and polls their acks concurrently.
@@ -178,6 +293,15 @@ func New(k *sim.Kernel, mc *imc.Controller, cache *cpucache.Cache, capacityPages
 	if cfg.CPQueueDepth < 1 {
 		cfg.CPQueueDepth = 1
 	}
+	if cfg.AckTimeout <= 0 {
+		cfg.AckTimeout = 1500 * sim.Microsecond
+	}
+	if cfg.CPRetries < 1 {
+		cfg.CPRetries = 4
+	}
+	if cfg.CachefillRetries < 1 {
+		cfg.CachefillRetries = 3
+	}
 	d := &Driver{
 		k:             k,
 		mc:            mc,
@@ -186,7 +310,8 @@ func New(k *sim.Kernel, mc *imc.Controller, cache *cpucache.Cache, capacityPages
 		slots:         make([]slotState, cfg.Layout.NumSlots),
 		mapping:       make(map[int64]int),
 		rep:           newReplacer(cfg.Policy, cfg.Layout.NumSlots),
-		inflight:      make(map[int64][]func(int)),
+		inflight:      make(map[int64][]func(int, error)),
+		errs:          metrics.NewCounters(),
 		lock:          sim.NewResource(k, "nvdc-lock"),
 		cpSlots:       make([]cpSlot, cfg.CPQueueDepth),
 		metaShadow:    make([]byte, cfg.Layout.MetaSize),
@@ -214,7 +339,64 @@ func (d *Driver) Stats() Stats {
 	s := d.stats
 	s.FreeSlots = len(d.free)
 	s.ResidentPages = len(d.mapping)
+	s.Mode = d.mode
+	s.SlotsQuarantined = len(d.quarantined)
 	return s
+}
+
+// Counters exposes the error/retry/degradation event counters.
+func (d *Driver) Counters() *metrics.Counters { return d.errs }
+
+// Mode reports the driver's degradation state.
+func (d *Driver) Mode() Mode { return d.mode }
+
+// Quarantined returns the slots retired after hard cachefill failures.
+func (d *Driver) Quarantined() []int { return append([]int(nil), d.quarantined...) }
+
+// Halt freezes the driver at a power-failure instant: in-flight ack polls
+// and CP issues stop without counting timeouts against a dead host, and new
+// faults are dropped (their callers no longer exist). RecoverFromMetadata
+// lifts the halt — the reboot.
+func (d *Driver) Halt() { d.halted = true }
+
+// degrade moves the driver forward in the degradation lattice; backward
+// transitions are ignored (a ReadOnly device never self-heals — recovery is
+// an operator action through a fresh Driver).
+func (d *Driver) degrade(to Mode, reason string) {
+	if to <= d.mode {
+		return
+	}
+	d.mode = to
+	switch to {
+	case ModeDegraded:
+		d.errs.Inc(CtrModeDegraded)
+	case ModeReadOnly:
+		d.errs.Inc(CtrModeReadOnly)
+	}
+	if d.OnModeChange != nil {
+		d.OnModeChange(to, reason)
+	}
+}
+
+// quarantine retires a DRAM cache slot: it never returns to the free pool
+// and never hosts a mapping again. The driver cannot tell a failing DRAM
+// slot from a failing transfer path, so it conservatively removes the slot
+// that was involved in a hard failure from circulation.
+func (d *Driver) quarantine(slot int) {
+	d.quarantined = append(d.quarantined, slot)
+	d.errs.Inc(CtrSlotQuarantined)
+	d.metaEntries[slot] = cp.MetaEntry{}
+	d.writeMetaEntry(slot)
+}
+
+// failInflight rejects every waiter coalesced on lpn's miss.
+func (d *Driver) failInflight(lpn int64, err error) {
+	waiters := d.inflight[lpn]
+	delete(d.inflight, lpn)
+	d.errs.Inc(CtrFaultFailed)
+	for _, w := range waiters {
+		w(-1, err)
+	}
 }
 
 // Config returns the driver configuration.
@@ -244,10 +426,33 @@ func (d *Driver) Serialize(hold sim.Duration, fn func()) {
 
 // Fault is the DAX page-fault path (Fig. 6): it guarantees lpn is resident
 // and calls done with its slot. write marks the slot dirty. Concurrent
-// faults on the same lpn coalesce onto one miss.
+// faults on the same lpn coalesce onto one miss. Fault keeps the legacy
+// error-free signature for callers that run without fault injection; any
+// driver error (impossible in a healthy, fault-free system) panics. Code
+// that must survive injected failures uses FaultE.
 func (d *Driver) Fault(lpn int64, write bool, done func(slot int)) {
+	d.FaultE(lpn, write, func(slot int, err error) {
+		if err != nil {
+			panic(fmt.Sprintf("nvdc: fault lpn %d: %v", lpn, err))
+		}
+		done(slot)
+	})
+}
+
+// FaultE is the error-carrying fault path: done receives the resident slot,
+// or -1 and the reason residency could not be established (read-only mode,
+// CP transport exhaustion, uncorrectable media reads).
+func (d *Driver) FaultE(lpn int64, write bool, done func(slot int, err error)) {
 	if lpn < 0 || lpn >= d.capacityPages {
 		panic(fmt.Sprintf("nvdc: fault lpn %d out of device range %d", lpn, d.capacityPages))
+	}
+	if d.halted {
+		return
+	}
+	if write && d.mode == ModeReadOnly {
+		d.errs.Inc(CtrFaultFailed)
+		done(-1, fmt.Errorf("write fault on lpn %d: %w", lpn, ErrReadOnly))
+		return
 	}
 	if slot, ok := d.mapping[lpn]; ok {
 		d.stats.Hits++
@@ -255,30 +460,31 @@ func (d *Driver) Fault(lpn int64, write bool, done func(slot int)) {
 		if write {
 			d.markDirty(slot)
 		}
-		done(slot)
+		done(slot, nil)
 		return
 	}
-	if waiters, ok := d.inflight[lpn]; ok {
-		d.stats.CoalescedFaults++
-		d.inflight[lpn] = append(waiters, func(slot int) {
-			if write {
-				d.markDirty(slot)
-			}
-			done(slot)
-		})
-		return
-	}
-	d.stats.Misses++
-	d.inflight[lpn] = []func(int){func(slot int) {
+	wake := func(slot int, err error) {
+		if err != nil {
+			done(-1, err)
+			return
+		}
 		if write {
 			d.markDirty(slot)
 		}
-		done(slot)
-	}}
+		done(slot, nil)
+	}
+	if waiters, ok := d.inflight[lpn]; ok {
+		d.stats.CoalescedFaults++
+		d.inflight[lpn] = append(waiters, wake)
+		return
+	}
+	d.stats.Misses++
+	d.inflight[lpn] = []func(int, error){wake}
 	d.missPath(lpn)
 }
 
 func (d *Driver) markDirty(slot int) {
+	d.slots[slot].gen++
 	if !d.slots[slot].dirty {
 		d.slots[slot].dirty = true
 		d.metaEntries[slot].Dirty = true
@@ -291,6 +497,13 @@ func (d *Driver) missPath(lpn int64) {
 	// Step 1 (under the driver lock): claim a slot, evicting if needed.
 	d.lock.Acquire(d.cfg.MapCost/2, func(start sim.Time) {
 		d.k.ScheduleAt(start.Add(d.cfg.MapCost/2), func() {
+			// Read-only mode never evicts: an eviction would either need the
+			// broken writeback path or discard a page the driver can no
+			// longer re-fetch safely. Misses are served from free slots only.
+			if d.mode == ModeReadOnly && len(d.free) == 0 {
+				d.failInflight(lpn, fmt.Errorf("miss on lpn %d needs an eviction: %w", lpn, ErrReadOnly))
+				return
+			}
 			slot, victimLPN, needWB := d.claimSlot()
 			// Fast path: a free slot for a block with nothing on the media
 			// needs no CP round trip — zero the slot locally and map it.
@@ -332,8 +545,18 @@ func (d *Driver) claimSlot() (slot int, victimLPN int64, needWB bool) {
 	delete(d.mapping, victimLPN)
 	needWB = !d.cfg.TrackDirty || d.slots[slot].dirty
 	d.slots[slot].lpn = noLPN
-	d.metaEntries[slot].Valid = false
-	d.writeMetaEntry(slot)
+	// Crash consistency: while the eviction writeback is still in flight the
+	// victim's bytes exist ONLY in this DRAM slot, and the power-fail flush
+	// persists exactly what the metadata table says is valid and dirty. So
+	// the entry stays {victim, Valid, Dirty} until the writeback is acked
+	// Done (transfer invalidates it just before the cachefill overwrites the
+	// slot). Clean victims — and the combined-command mode, whose single
+	// opcode gives no point between writeback and fill to flip the entry —
+	// invalidate up front as before.
+	if !needWB || d.cfg.CombineWBCF {
+		d.metaEntries[slot].Valid = false
+		d.writeMetaEntry(slot)
+	}
 	return slot, victimLPN, needWB
 }
 
@@ -361,11 +584,32 @@ func (d *Driver) transfer(lpn int64, slot int, victimLPN int64, needWB bool) {
 		return
 	}
 
-	cachefill := func() {
+	// Cachefill with bounded read-retry: an error ack means the NAND read
+	// came back uncorrectable; transient upsets (injected or real) clear on
+	// a reread, so the command is re-issued whole. Exhausting the retries
+	// is a hard media failure: the slot is quarantined and the driver
+	// degrades to write-through.
+	var attemptCachefill func(attempt int)
+	attemptCachefill = func(attempt int) {
 		d.stats.Cachefills++
 		d.sendCP(cp.Command{Opcode: cp.OpCachefill, DRAMSlot: uint32(slot), NANDPage: uint32(lpn)},
-			func(cp.Status) { finish() })
+			func(st cp.Status, err error) {
+				if err == nil && st == cp.StatusDone {
+					finish()
+					return
+				}
+				if err == nil {
+					err = fmt.Errorf("device error status on lpn %d: %w", lpn, ErrMediaRead)
+				}
+				if attempt+1 < d.cfg.CachefillRetries {
+					d.errs.Inc(CtrCachefillRetry)
+					attemptCachefill(attempt + 1)
+					return
+				}
+				d.cachefillFailed(lpn, slot, err)
+			})
 	}
+	cachefill := func() { attemptCachefill(0) }
 
 	if !needWB {
 		cachefill()
@@ -381,12 +625,41 @@ func (d *Driver) transfer(lpn int64, slot int, victimLPN int64, needWB bool) {
 				// Primary pair = cachefill, secondary = writeback (§cp).
 				DRAMSlot: uint32(slot), NANDPage: uint32(lpn),
 				DRAMSlot2: uint32(slot), NANDPage2: uint32(victimLPN),
-			}, func(cp.Status) { finish() })
+			}, func(st cp.Status, err error) {
+				if err == nil && st == cp.StatusDone {
+					finish()
+					return
+				}
+				if err == nil {
+					err = fmt.Errorf("nvdc: combined command error status")
+				}
+				// The writeback half is the dangerous one: treat any
+				// combined failure as a writeback failure.
+				d.writebackFailed(lpn, slot, victimLPN, err)
+			})
 			return
 		}
 		d.stats.Writebacks++
 		d.sendCP(cp.Command{Opcode: cp.OpWriteback, DRAMSlot: uint32(slot), NANDPage: uint32(victimLPN)},
-			func(cp.Status) { cachefill() })
+			func(st cp.Status, err error) {
+				if err == nil && st == cp.StatusDone {
+					// The victim is on the media: drop its metadata entry
+					// BEFORE the cachefill replaces the slot's bytes, or a
+					// power failure in between would flush the new page's
+					// data over the victim's NAND page. (With the default
+					// CPQueueDepth of 1 a re-fault on the victim queues
+					// behind this transition, so no second Valid entry for
+					// the same NAND page can appear meanwhile.)
+					d.metaEntries[slot] = cp.MetaEntry{}
+					d.writeMetaEntry(slot)
+					cachefill()
+					return
+				}
+				if err == nil {
+					err = fmt.Errorf("nvdc: writeback error status")
+				}
+				d.writebackFailed(lpn, slot, victimLPN, err)
+			})
 	}
 	if d.cache != nil && !d.cfg.UnsafeNoFlush {
 		if err := d.cache.Clflush(d.cfg.Layout.SlotAddr(slot), PageSize); err != nil {
@@ -395,6 +668,36 @@ func (d *Driver) transfer(lpn int64, slot int, victimLPN int64, needWB bool) {
 		d.cache.SFence()
 	}
 	d.k.Schedule(d.cfg.FlushCost4K, flushDone)
+}
+
+// cachefillFailed ends a miss whose fill the device could not serve even
+// after retries: the slot involved is retired, the driver degrades to
+// write-through, and every coalesced waiter gets the error.
+func (d *Driver) cachefillFailed(lpn int64, slot int, err error) {
+	d.errs.Inc(CtrCachefillFail)
+	d.quarantine(slot)
+	d.degrade(ModeDegraded, fmt.Sprintf("cachefill of lpn %d failed hard (slot %d quarantined)", lpn, slot))
+	d.failInflight(lpn, fmt.Errorf("nvdc: cachefill of lpn %d: %w", lpn, err))
+}
+
+// writebackFailed handles a hard eviction-writeback failure. The failed
+// writeback never mutated the DRAM slot, so the dirty victim's bytes are
+// intact: the victim mapping is restored under the lock (no acked data is
+// lost) and the driver goes read-only — it can no longer promise that a
+// future eviction could persist dirty data.
+func (d *Driver) writebackFailed(lpn int64, slot int, victimLPN int64, err error) {
+	d.errs.Inc(CtrWritebackFail)
+	d.lock.Acquire(d.cfg.MapCost/2, func(start sim.Time) {
+		d.k.ScheduleAt(start.Add(d.cfg.MapCost/2), func() {
+			d.mapping[victimLPN] = slot
+			d.slots[slot] = slotState{lpn: victimLPN, dirty: true}
+			d.rep.Insert(slot)
+			d.metaEntries[slot] = cp.MetaEntry{NANDPage: uint32(victimLPN), Valid: true, Dirty: true}
+			d.writeMetaEntry(slot)
+			d.degrade(ModeReadOnly, fmt.Sprintf("writeback of victim lpn %d failed hard", victimLPN))
+			d.failInflight(lpn, fmt.Errorf("nvdc: writeback of victim lpn %d: %w", victimLPN, err))
+		})
+	})
 }
 
 // install maps lpn to slot under the driver lock: mapping + PTE + metadata
@@ -410,7 +713,7 @@ func (d *Driver) install(lpn int64, slot int) {
 			waiters := d.inflight[lpn]
 			delete(d.inflight, lpn)
 			for _, w := range waiters {
-				w(slot)
+				w(slot, nil)
 			}
 		})
 	})
@@ -457,8 +760,9 @@ func (d *Driver) Trim(lpn int64) {
 
 // sendCP queues a command into the CP mailbox (queue depth 1 on the PoC,
 // §IV-C; CPQueueDepth slots when pipelining) and calls done when the device
-// acks it.
-func (d *Driver) sendCP(cmd cp.Command, done func(cp.Status)) {
+// acks it — or with an error after the ack deadline has expired CPRetries
+// times.
+func (d *Driver) sendCP(cmd cp.Command, done func(cp.Status, error)) {
 	d.cpQueue = append(d.cpQueue, cpRequest{cmd: cmd, done: done})
 	d.cpDispatch()
 }
@@ -484,6 +788,21 @@ func cpCmdOffset(i int) int64 { return int64(128 * i) }
 func cpAckOffset(i int) int64 { return int64(128*i + 64) }
 
 func (d *Driver) cpStart(slot int, req cpRequest) {
+	d.issueCP(slot, req, 0)
+}
+
+// issueCP writes (or re-writes) req's command word with a freshly toggled
+// phase bit and starts the deadline-bounded ack poll. On a re-issue the ack
+// cacheline is cleared first: the one-bit phase protocol cannot tell an ack
+// for this attempt from a stale same-phase ack two commands back, and the
+// zero word never checksum-validates, so clearing closes that ABA window.
+// Re-issuing while the device still works on the earlier attempt is safe:
+// the NVMC serves commands one at a time per slot, stale-phase acks are
+// ignored, and the page moves themselves are idempotent.
+func (d *Driver) issueCP(slot int, req cpRequest, attempt int) {
+	if d.halted {
+		return
+	}
 	sl := &d.cpSlots[slot]
 	sl.busy = true
 	sl.phase = !sl.phase
@@ -494,26 +813,115 @@ func (d *Driver) cpStart(slot int, req cpRequest) {
 	// Build + store + clflush + sfence the CP cacheline, then the bus write
 	// lands it in DRAM where the NVMC's next poll sees it.
 	d.k.Schedule(d.cfg.CPWriteCost, func() {
-		d.mc.Write(d.cfg.Layout.CPOffset+cpCmdOffset(slot), word[:], func() {
-			d.pollAck(slot, req)
-		})
+		writeCmd := func() {
+			d.mc.Write(d.cfg.Layout.CPOffset+cpCmdOffset(slot), word[:], func() {
+				deadline := d.k.Now().Add(d.cfg.AckTimeout)
+				d.pollAck(slot, req, attempt, deadline, d.cfg.AckPollInterval)
+			})
+		}
+		if attempt == 0 {
+			writeCmd()
+			return
+		}
+		d.mc.Write(d.cfg.Layout.CPOffset+cpAckOffset(slot), make([]byte, 8), writeCmd)
 	})
 }
 
-func (d *Driver) pollAck(slot int, req cpRequest) {
+// pollAck polls the ack word with exponential backoff until a checksum-valid
+// ack with the expected phase arrives or the attempt's deadline passes; the
+// deadline re-issues (bounded) and then surfaces a CPTimeoutError.
+func (d *Driver) pollAck(slot int, req cpRequest, attempt int, deadline sim.Time, interval sim.Duration) {
+	if d.halted {
+		return
+	}
 	d.stats.AckPolls++
 	buf := make([]byte, 8)
 	d.mc.Read(d.cfg.Layout.CPOffset+cpAckOffset(slot), buf, func() {
-		ack := cp.DecodeAck(leUint64(buf))
-		if ack.Phase == d.cpSlots[slot].phase && (ack.Status == cp.StatusDone || ack.Status == cp.StatusError) {
-			d.cpSlots[slot].busy = false
-			st := ack.Status
-			d.cpDispatch()
-			req.done(st)
+		if d.halted {
 			return
 		}
-		d.k.Schedule(d.cfg.AckPollInterval, func() { d.pollAck(slot, req) })
+		w := leUint64(buf)
+		ack := cp.DecodeAck(w)
+		if ack.Phase == d.cpSlots[slot].phase && (ack.Status == cp.StatusDone || ack.Status == cp.StatusError) {
+			if cp.AckChecksumOK(w) {
+				d.cpSlots[slot].busy = false
+				st := ack.Status
+				d.cpDispatch()
+				req.done(st, nil)
+				return
+			}
+			// Corrupt ack: the device already posted its one ack for this
+			// phase, so nothing will overwrite the word — only the deadline
+			// path (re-issue) recovers. Keep polling until it fires.
+			d.errs.Inc(CtrAckChecksumBad)
+		}
+		if d.k.Now() >= deadline {
+			d.errs.Inc(CtrAckTimeout)
+			if attempt+1 < d.cfg.CPRetries {
+				d.errs.Inc(CtrCPReissue)
+				d.issueCP(slot, req, attempt+1)
+				return
+			}
+			d.cpSlots[slot].busy = false
+			d.cpDispatch()
+			req.done(0, &CPTimeoutError{Opcode: req.cmd.Opcode, Slot: slot, Attempts: attempt + 1})
+			return
+		}
+		// Exponential backoff: cheap uncached reads early (acks usually land
+		// within a window or two), then progressively lazier polling so a
+		// stalled device does not monopolize the bus with 64 B reads.
+		next := interval * 2
+		if max := d.cfg.AckPollInterval * 16; next > max {
+			next = max
+		}
+		d.k.Schedule(interval, func() { d.pollAck(slot, req, attempt, deadline, next) })
 	})
+}
+
+// FlushLPN synchronously persists lpn's slot to the NVM media: a
+// driver-initiated writeback that leaves the mapping intact and marks the
+// slot clean. Degraded mode writes every acked store through with it, so
+// the suspect DRAM cache never holds the only copy of data. A miss or
+// clean slot completes immediately.
+func (d *Driver) FlushLPN(lpn int64, done func(error)) {
+	slot, ok := d.mapping[lpn]
+	if !ok || !d.slots[slot].dirty {
+		done(nil)
+		return
+	}
+	gen := d.slots[slot].gen
+	flush := func() {
+		d.errs.Inc(CtrWriteThrough)
+		d.stats.Writebacks++
+		d.sendCP(cp.Command{Opcode: cp.OpWriteback, DRAMSlot: uint32(slot), NANDPage: uint32(lpn)},
+			func(st cp.Status, err error) {
+				if err == nil && st != cp.StatusDone {
+					err = fmt.Errorf("nvdc: write-through of lpn %d: device error status", lpn)
+				}
+				if err != nil {
+					// The persistence path is gone: refuse further writes.
+					d.errs.Inc(CtrWritebackFail)
+					d.degrade(ModeReadOnly, fmt.Sprintf("write-through of lpn %d failed hard", lpn))
+					done(err)
+					return
+				}
+				// Clear dirty only if no store raced the flush (the gen
+				// guard); a racing store's bytes may postdate the clflush.
+				if s, still := d.mapping[lpn]; still && s == slot && d.slots[slot].gen == gen {
+					d.slots[slot].dirty = false
+					d.metaEntries[slot].Dirty = false
+					d.writeMetaEntry(slot)
+				}
+				done(nil)
+			})
+	}
+	if d.cache != nil && !d.cfg.UnsafeNoFlush {
+		if err := d.cache.Clflush(d.cfg.Layout.SlotAddr(slot), PageSize); err != nil {
+			panic(fmt.Sprintf("nvdc: clflush: %v", err))
+		}
+		d.cache.SFence()
+	}
+	d.k.Schedule(d.cfg.FlushCost4K, flush)
 }
 
 // --- Recovery ---------------------------------------------------------------
@@ -532,6 +940,13 @@ func (d *Driver) RecoverFromMetadata(meta []byte) (int, error) {
 	d.mapping = make(map[int64]int)
 	d.free = d.free[:0]
 	d.rep = newReplacer(d.cfg.Policy, len(d.slots))
+	// Reboot: lift a power-fail halt and forget in-flight mailbox state.
+	d.halted = false
+	d.inflight = make(map[int64][]func(int, error))
+	d.cpQueue = nil
+	for i := range d.cpSlots {
+		d.cpSlots[i].busy = false
+	}
 	n := 0
 	for i, e := range entries {
 		if e.Valid {

@@ -18,6 +18,7 @@ import (
 
 	"nvdimmc/internal/bus"
 	"nvdimmc/internal/cp"
+	"nvdimmc/internal/fault"
 	"nvdimmc/internal/ftl"
 	"nvdimmc/internal/hostmem"
 	"nvdimmc/internal/refdet"
@@ -103,18 +104,23 @@ type cmdFSM struct {
 
 // Stats aggregates controller behaviour.
 type Stats struct {
-	WindowsSeen     uint64 // extra-tRFC windows entered
-	WindowsUsed     uint64 // windows in which any work was done
-	Polls           uint64
-	Cachefills      uint64
-	Writebacks      uint64
-	Combined        uint64
-	BytesToDRAM     uint64
-	BytesFromDRAM   uint64
-	AcksPosted      uint64
-	WindowsPerCmd   float64 // rolling average
-	cmdWindowsTotal uint64
-	cmdsCompleted   uint64
+	WindowsSeen        uint64 // extra-tRFC windows entered
+	WindowsUsed        uint64 // windows in which any work was done
+	Polls              uint64
+	Cachefills         uint64
+	Writebacks         uint64
+	Combined           uint64
+	BytesToDRAM        uint64
+	BytesFromDRAM      uint64
+	AcksPosted         uint64
+	AcksDropped        uint64  // injected: ack never reached DRAM
+	AcksCorrupted      uint64  // injected: ack posted with a flipped bit
+	FirmwareStalls     uint64  // injected: decode stalled past its budget
+	WindowOverruns     uint64  // injected: data phase aborted, window lost
+	PostedProgramFails uint64  // posted writeback whose program failed late
+	WindowsPerCmd      float64 // rolling average
+	cmdWindowsTotal    uint64
+	cmdsCompleted      uint64
 }
 
 // Controller is the NVMC.
@@ -139,6 +145,14 @@ type Controller struct {
 
 	// onComplete, if set, observes each completed command (tests).
 	onComplete func(c cp.Command, windows int)
+
+	// faults, when non-nil, injects controller-level failures: firmware
+	// stalls (NVMCFirmwareStall), aborted window transfers
+	// (NVMCWindowOverrun), and CP ack loss/corruption (CPAckDrop,
+	// CPAckCorrupt). All are recoverable by the driver's retry protocol:
+	// the command slot's FSM bookkeeping always completes, so a re-issued
+	// command with a toggled phase bit is seen as new and re-executed.
+	faults *fault.Registry
 
 	// Trace, when set, records window and CP activity.
 	Trace *trace.Log
@@ -181,6 +195,9 @@ func (c *Controller) SetOnComplete(fn func(cp.Command, int)) { c.onComplete = fn
 
 // FTL exposes the flash translation layer (for inspection tools).
 func (c *Controller) FTL() *ftl.FTL { return c.ftl }
+
+// SetFaults attaches the fault-injection registry (nil detaches).
+func (c *Controller) SetFaults(g *fault.Registry) { c.faults = g }
 
 // onRefresh is the refresh detector callback: it fires shortly after a REF
 // was seen on the CA bus; the usable window opens once the DRAM's internal
@@ -277,7 +294,19 @@ func (c *Controller) pollSlot(f *cmdFSM) {
 	f.ready = false
 	f.windowsUsed = 1
 	f.startedAt = c.k.Now()
-	c.k.Schedule(sim.Duration(c.windowEnd.Sub(c.k.Now()))+c.cfg.FirmwareDecode, func() {
+	decode := c.cfg.FirmwareDecode
+	if ok, stallUS := c.faults.FiresParam(fault.NVMCFirmwareStall); ok {
+		// Firmware hangs on its core for the injected duration (param is
+		// microseconds; default ~2 ms) before the decode completes. The
+		// command is eventually served, so a patient driver sees only
+		// latency; an impatient one times out and retries.
+		if stallUS <= 0 {
+			stallUS = 2000
+		}
+		decode += sim.Duration(stallUS) * sim.Microsecond
+		c.stats.FirmwareStalls++
+	}
+	c.k.Schedule(sim.Duration(c.windowEnd.Sub(c.k.Now()))+decode, func() {
 		c.dispatch(f, cmd)
 	})
 }
@@ -350,6 +379,12 @@ func (c *Controller) fail(f *cmdFSM, err error) {
 // phase).
 func (c *Controller) doWriteData(f *cmdFSM) {
 	f.windowsUsed++
+	if c.faults.Fires(fault.NVMCWindowOverrun) {
+		// The FSM ran out of window mid-transfer and aborted; the state is
+		// untouched so the next window retries the whole 4 KB move.
+		c.stats.WindowOverruns++
+		return
+	}
 	slot := f.cur.DRAMSlot
 	addr := c.layout.SlotAddr(int(slot))
 	if err := c.ch.NVMCAccess(addr, f.buf, false); err != nil {
@@ -372,6 +407,10 @@ func (c *Controller) doWriteData(f *cmdFSM) {
 // hands it to the FTL.
 func (c *Controller) doReadData(f *cmdFSM) {
 	f.windowsUsed++
+	if c.faults.Fires(fault.NVMCWindowOverrun) {
+		c.stats.WindowOverruns++
+		return
+	}
 	cmd := f.cur
 	slot, page := cmd.DRAMSlot, cmd.NANDPage
 	if cmd.Opcode == cp.OpCombined {
@@ -383,11 +422,6 @@ func (c *Controller) doReadData(f *cmdFSM) {
 	}
 	c.stats.BytesFromDRAM += uint64(len(buf))
 
-	programDone := func(err error) {
-		if err != nil {
-			c.fail(f, err)
-		}
-	}
 	advance := func() {
 		if cmd.Opcode == cp.OpCombined {
 			// Writeback half done; the cachefill half proceeds when the
@@ -420,14 +454,25 @@ func (c *Controller) doReadData(f *cmdFSM) {
 
 	if c.cfg.AckAfterProgram && cmd.Opcode == cp.OpWriteback {
 		c.ftl.WritePage(int64(page), buf, func(err error) {
-			programDone(err)
+			if err != nil {
+				// Ack not yet posted: surface the failure to the driver.
+				c.fail(f, err)
+				return
+			}
 			advance()
 		})
 		return
 	}
 	// Posted program: the controller's battery-backed buffer holds the data;
-	// the program completes asynchronously.
-	c.ftl.WritePage(int64(page), buf, programDone)
+	// the program completes asynchronously. The ack has (or will have) been
+	// posted by then, so a late failure cannot use the slot FSM — it is
+	// only counted. The FTL's internal remap-and-rewrite makes this path
+	// fire only after every remap attempt is exhausted.
+	c.ftl.WritePage(int64(page), buf, func(err error) {
+		if err != nil {
+			c.stats.PostedProgramFails++
+		}
+	})
 	advance()
 }
 
@@ -449,10 +494,27 @@ func (c *Controller) postAck(f *cmdFSM) {
 		status = cp.StatusError
 	}
 	ack := cp.Ack{Phase: f.cur.Phase, Status: status}
-	var word [8]byte
-	putUint64(word[:], ack.EncodeAck())
-	if err := c.ch.NVMCAccess(c.cpAddr(ackOffset(f.idx)), word[:], false); err != nil {
-		panic(fmt.Sprintf("nvmc: ack write: %v", err))
+	w := ack.EncodeAck()
+	dropped := false
+	if c.faults.Fires(fault.CPAckDrop) {
+		// The 64 B ack write is lost in flight: the FSM completes its
+		// bookkeeping (the firmware believes it acked) but the driver never
+		// sees the word and must time out and re-issue.
+		dropped = true
+		c.stats.AcksDropped++
+	} else if c.faults.Fires(fault.CPAckCorrupt) {
+		// Flip one bit of the stored checksum byte: the ack still parses
+		// (phase and status intact) but AckChecksumOK rejects it, so the
+		// driver's deadline-and-reissue path must recover.
+		w ^= 1 << uint(8+c.faults.Rand().Intn(8))
+		c.stats.AcksCorrupted++
+	}
+	if !dropped {
+		var word [8]byte
+		putUint64(word[:], w)
+		if err := c.ch.NVMCAccess(c.cpAddr(ackOffset(f.idx)), word[:], false); err != nil {
+			panic(fmt.Sprintf("nvmc: ack write: %v", err))
+		}
 	}
 	if c.Trace != nil {
 		c.Trace.Addf(c.k.Now(), trace.KindCPAck, "slot %d: %v %v (%d windows)", f.idx, f.cur.Opcode, ack.Status, f.windowsUsed)

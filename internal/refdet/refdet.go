@@ -15,6 +15,7 @@ package refdet
 
 import (
 	"nvdimmc/internal/ddr4"
+	"nvdimmc/internal/fault"
 	"nvdimmc/internal/sim"
 )
 
@@ -76,9 +77,16 @@ type Detector struct {
 	// BitErrorRate optionally flips each sampled pin level with this
 	// probability, modelling marginal signal integrity (crosstalk,
 	// impedance mismatch — the effects §VII-A says they mitigated with
-	// terminations and impedance tuning).
+	// terminations and impedance tuning). When a fault registry is
+	// attached, the draw comes from the registry's single seeded RNG so
+	// the whole run replays from one seed; otherwise from the detector's
+	// own seeded generator.
 	BitErrorRate float64
 	rng          *sim.Rand
+
+	// faults, when non-nil, additionally injects per-pin sample flips via
+	// fault.RefdetSampleFlip — the registry-native home of the BER knob.
+	faults *fault.Registry
 
 	des   [NumPins]Deserializer
 	stats Stats
@@ -101,6 +109,15 @@ func New(k *sim.Kernel, tck sim.Duration) *Detector {
 // disabled runs with the detector off and the NVMC free-running).
 func (d *Detector) SetEnabled(v bool) { d.enabled = v }
 
+// SetFaults attaches the fault-injection registry: sample flips can then be
+// injected per-site (fault.RefdetSampleFlip) and the BitErrorRate knob draws
+// from the registry's seeded RNG.
+func (d *Detector) SetFaults(g *fault.Registry) { d.faults = g }
+
+// SetSeed reseeds the detector's own sampling-noise RNG (used when no fault
+// registry is attached); core plumbs its master seed here.
+func (d *Detector) SetSeed(seed uint64) { d.rng = sim.NewRand(seed) }
+
 // Enabled reports whether the detector is active.
 func (d *Detector) Enabled() bool { return d.enabled }
 
@@ -113,11 +130,18 @@ func (d *Detector) Snoop() func(at sim.Time, s ddr4.CAState) {
 }
 
 func (d *Detector) noisy(s ddr4.CAState) ddr4.CAState {
-	if d.BitErrorRate <= 0 {
+	if d.BitErrorRate <= 0 && d.faults == nil {
 		return s
 	}
+	rng := d.rng
+	if d.faults != nil {
+		rng = d.faults.Rand()
+	}
 	flip := func(b bool) bool {
-		if d.rng.Float64() < d.BitErrorRate {
+		if d.faults.Fires(fault.RefdetSampleFlip) {
+			return !b
+		}
+		if d.BitErrorRate > 0 && rng.Float64() < d.BitErrorRate {
 			return !b
 		}
 		return b

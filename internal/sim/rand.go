@@ -16,6 +16,24 @@ func NewRand(seed uint64) *Rand {
 	return &Rand{state: seed}
 }
 
+// SplitSeed derives a per-component seed from one root seed and a component
+// label (FNV-1a over the label folded into the root, finalized with a
+// splitmix64 round). Every probabilistic model in the machine seeds its RNG
+// from the same root this way, so an entire run — including fault injection —
+// is reproducible from the single seed printed in failure output.
+func SplitSeed(root uint64, label string) uint64 {
+	h := uint64(1469598103934665603) // FNV-1a offset basis
+	for i := 0; i < len(label); i++ {
+		h ^= uint64(label[i])
+		h *= 1099511628211
+	}
+	z := root ^ h
+	z += 0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
 // Uint64 returns the next 64 pseudo-random bits.
 func (r *Rand) Uint64() uint64 {
 	x := r.state

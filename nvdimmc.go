@@ -20,6 +20,7 @@
 package nvdimmc
 
 import (
+	"fmt"
 	"io"
 
 	"nvdimmc/internal/core"
@@ -101,6 +102,14 @@ func Experiments(opts ExperimentOptions) map[string]func() error {
 		"ablations": func() error { _, err := experiments.Ablations(opts); return err },
 		"endurance": func() error { _, err := experiments.Endurance(opts); return err },
 		"frontend":  func() error { experiments.FrontendAnalysis(opts); return nil },
+		"crash": func() error {
+			res, err := experiments.CrashSweep(opts)
+			if err == nil && len(res.Failures) > 0 {
+				err = fmt.Errorf("crash sweep: %d acked writes lost (seed %#x)",
+					len(res.Failures), res.Seed)
+			}
+			return err
+		},
 	}
 }
 
@@ -109,7 +118,7 @@ func ExperimentNames() []string {
 	return []string{
 		"table1", "table2", "frontend", "aging", "fig7", "fig8", "fig9",
 		"fig10", "fig11", "mixed", "lru", "fig12", "fig13", "windows",
-		"ablations", "endurance",
+		"ablations", "endurance", "crash",
 	}
 }
 
