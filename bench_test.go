@@ -11,12 +11,17 @@ package nvdimmc
 // recorded in EXPERIMENTS.md.
 
 import (
+	"runtime"
 	"testing"
 
 	"nvdimmc/internal/experiments"
 )
 
 func quick() experiments.Options { return experiments.Options{Quick: true} }
+
+func quickParallel() experiments.Options {
+	return experiments.Options{Quick: true, Parallel: runtime.GOMAXPROCS(0)}
+}
 
 func BenchmarkTable1Config(b *testing.B) {
 	for i := 0; i < b.N; i++ {
@@ -166,5 +171,43 @@ func BenchmarkWindowBandwidth(b *testing.B) {
 			b.Fatal(err)
 		}
 		b.ReportMetric(res.MeasuredPairUS, "pair-us")
+	}
+}
+
+// The pair below is the harness's own speedup benchmark: the same quick
+// crash sweep serial vs sharded across GOMAXPROCS workers. The sweep's
+// per-point results are seed-derived, so both report identical audits.
+func BenchmarkCrashSweepSerial(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.CrashSweep(quick())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Failures) != 0 {
+			b.Fatalf("%d acked writes lost", len(res.Failures))
+		}
+	}
+}
+
+func BenchmarkCrashSweepParallel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.CrashSweep(quickParallel())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Failures) != 0 {
+			b.Fatalf("%d acked writes lost", len(res.Failures))
+		}
+	}
+}
+
+func BenchmarkFig9ThreadsParallel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig9(quickParallel())
+		if err != nil {
+			b.Fatal(err)
+		}
+		_, cachedPeak := res.Peak("cached-read")
+		b.ReportMetric(cachedPeak, "cached-peak-MB/s")
 	}
 }

@@ -4,27 +4,54 @@
 //
 // Usage:
 //
-//	nvdimmc-bench [-quick] [experiment ...]
+//	nvdimmc-bench [-quick] [-parallel N] [-json FILE] [experiment ...]
 //
-// With no arguments every experiment runs in the paper's order. Available
-// experiments: table1 table2 aging fig7 fig8 fig9 fig10 fig11 mixed lru
-// fig12 fig13 windows.
+// With no arguments every experiment runs in the paper's order; a failing
+// experiment no longer aborts the rest — every requested experiment runs,
+// all failures are reported, and the exit status is nonzero if any failed.
+// -parallel fans the shardable experiments (crash, fig9, fig11, fig13)
+// across N workers with byte-identical output to a serial run. -json
+// appends one JSON line per experiment (wall-clock + headline metrics) to
+// FILE, e.g. BENCH_2026-08-05.json, so the harness's own performance
+// trajectory is trackable across commits.
+//
+// Available experiments: table1 table2 frontend aging fig7 fig8 fig9 fig10
+// fig11 mixed lru fig12 fig13 windows ablations endurance crash.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
+	"time"
 
 	"nvdimmc"
 )
 
+// benchRecord is one -json snapshot line.
+type benchRecord struct {
+	Time       string             `json:"time"`
+	Experiment string             `json:"experiment"`
+	Quick      bool               `json:"quick"`
+	Parallel   int                `json:"parallel"`
+	WallMS     float64            `json:"wall_ms"`
+	OK         bool               `json:"ok"`
+	Error      string             `json:"error,omitempty"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
+}
+
 func main() {
 	quick := flag.Bool("quick", false, "smaller runs (CI scale)")
 	list := flag.Bool("list", false, "list experiments and exit")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0),
+		"max concurrent sim instances per shardable experiment (1 = serial; output is identical either way)")
+	jsonPath := flag.String("json", "",
+		"append per-experiment wall-clock + headline metrics to this JSON-lines file (e.g. BENCH_snapshot.json)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: nvdimmc-bench [-quick] [experiment ...]\navailable: %s\n",
+		fmt.Fprintf(os.Stderr, "usage: nvdimmc-bench [-quick] [-parallel N] [-json FILE] [experiment ...]\navailable: %s\n",
 			strings.Join(nvdimmc.ExperimentNames(), " "))
 		flag.PrintDefaults()
 	}
@@ -35,7 +62,24 @@ func main() {
 		return
 	}
 
-	opts := nvdimmc.ExperimentOptions{Quick: *quick, Out: os.Stdout}
+	var snapshot *os.File
+	if *jsonPath != "" {
+		f, err := os.OpenFile(*jsonPath, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "nvdimmc-bench: %v\n", err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		snapshot = f
+	}
+
+	metrics := map[string]float64{}
+	opts := nvdimmc.ExperimentOptions{
+		Quick:    *quick,
+		Out:      os.Stdout,
+		Parallel: *parallel,
+		Headline: func(name string, v float64) { metrics[name] = v },
+	}
 	harnesses := nvdimmc.Experiments(opts)
 
 	names := flag.Args()
@@ -43,14 +87,53 @@ func main() {
 		names = nvdimmc.ExperimentNames()
 	}
 	for _, name := range names {
-		h, ok := harnesses[name]
-		if !ok {
+		if _, ok := harnesses[name]; !ok {
 			fmt.Fprintf(os.Stderr, "nvdimmc-bench: unknown experiment %q (try -list)\n", name)
 			os.Exit(2)
 		}
-		if err := h(); err != nil {
-			fmt.Fprintf(os.Stderr, "nvdimmc-bench: %s: %v\n", name, err)
-			os.Exit(1)
+	}
+
+	var failures []string
+	for _, name := range names {
+		for k := range metrics {
+			delete(metrics, k)
 		}
+		start := time.Now()
+		err := harnesses[name]()
+		wall := time.Since(start)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "nvdimmc-bench: %s: %v\n", name, err)
+			failures = append(failures, fmt.Sprintf("%s: %v", name, err))
+		}
+		if snapshot != nil {
+			rec := benchRecord{
+				Time:       start.UTC().Format(time.RFC3339),
+				Experiment: name,
+				Quick:      *quick,
+				Parallel:   *parallel,
+				WallMS:     float64(wall.Microseconds()) / 1000,
+				OK:         err == nil,
+			}
+			if err != nil {
+				rec.Error = err.Error()
+			}
+			if len(metrics) > 0 {
+				rec.Metrics = make(map[string]float64, len(metrics))
+				for k, v := range metrics {
+					rec.Metrics[k] = v
+				}
+			}
+			if werr := json.NewEncoder(snapshot).Encode(rec); werr != nil {
+				fmt.Fprintf(os.Stderr, "nvdimmc-bench: writing %s: %v\n", *jsonPath, werr)
+				os.Exit(2)
+			}
+		}
+	}
+	if len(failures) > 0 {
+		fmt.Fprintf(os.Stderr, "nvdimmc-bench: %d of %d experiments failed:\n", len(failures), len(names))
+		for _, f := range failures {
+			fmt.Fprintf(os.Stderr, "  %s\n", f)
+		}
+		os.Exit(1)
 	}
 }

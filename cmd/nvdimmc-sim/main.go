@@ -88,6 +88,10 @@ func main() {
 	res, err := fio.Run(tgt, job)
 	die(err)
 	fmt.Println(res)
+	fmt.Printf("latency: p50=%v p95=%v p99=%v p999=%v max=%v\n",
+		res.Latency.Percentile(50), res.Latency.Percentile(95),
+		res.Latency.Percentile(99), res.Latency.Percentile(99.9),
+		res.Latency.Max())
 	if sys != nil {
 		st := sys.Driver.Stats()
 		fmt.Printf("driver: hits=%d misses=%d evictions=%d writebacks=%d cachefills=%d fastfills=%d\n",

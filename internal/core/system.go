@@ -289,6 +289,9 @@ func (s *System) RunUntil(cond func() bool, maxSim sim.Duration) error {
 // the mechanism is enabled: no bus collisions, no DRAM protocol violations,
 // no refresh-detector false positives, consistent FTL state.
 func (s *System) CheckHealth() error {
+	if n := s.K.NegativeDelays(); n != 0 {
+		return fmt.Errorf("core: %d negative-delay Schedule calls clamped (causality bug in a model)", n)
+	}
 	if n := s.Channel.CollisionCount(); n != 0 {
 		return fmt.Errorf("core: %d bus collisions: first: %v", n, s.Channel.Collisions()[0])
 	}

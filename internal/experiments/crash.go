@@ -41,22 +41,37 @@ func CrashSweep(o Options) (*CrashResult, error) {
 	return CrashSweepSeeded(o, DefaultCrashSeed)
 }
 
-// CrashSweepSeeded is CrashSweep from an explicit master seed.
+// CrashSweepSeeded is CrashSweep from an explicit master seed. The points
+// are independent systems (each seeded from the master via sim.SplitSeed),
+// so they fan out across o.Parallel workers; results merge in point order,
+// making the printed output byte-identical to a serial run.
 func CrashSweepSeeded(o Options, seed uint64) (*CrashResult, error) {
 	points := o.pick(64, 8)
 	res := &CrashResult{Seed: seed, Points: points}
 	o.printf("== Crash-consistency sweep (seed %#x, %d power-fail points) ==\n", seed, points)
-	for i := 0; i < points; i++ {
+	type pointResult struct {
+		acked, flushed int
+		fails          []string
+	}
+	prs, err := runShards(points, o.workers(), func(i int) (pointResult, error) {
 		ps := sim.SplitSeed(seed, fmt.Sprintf("point-%03d", i))
 		acked, flushed, fails, err := CrashPoint(ps)
 		if err != nil {
-			return res, fmt.Errorf("point %d (seed %#x): %w", i, ps, err)
+			return pointResult{}, fmt.Errorf("point %d (seed %#x): %w", i, ps, err)
 		}
-		res.Acked += acked
-		res.Flushed += flushed
+		pr := pointResult{acked: acked, flushed: flushed}
 		for _, f := range fails {
-			res.Failures = append(res.Failures, fmt.Sprintf("point %d (seed %#x): %s", i, ps, f))
+			pr.fails = append(pr.fails, fmt.Sprintf("point %d (seed %#x): %s", i, ps, f))
 		}
+		return pr, nil
+	})
+	if err != nil {
+		return res, err
+	}
+	for _, pr := range prs {
+		res.Acked += pr.acked
+		res.Flushed += pr.flushed
+		res.Failures = append(res.Failures, pr.fails...)
 	}
 	o.printf("  %-42s %d\n", "power-fail points", res.Points)
 	o.printf("  %-42s %d\n", "acked writes audited", res.Acked)

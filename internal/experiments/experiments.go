@@ -27,6 +27,16 @@ type Options struct {
 	Quick bool
 	// Out receives the printed rows (nil discards).
 	Out io.Writer
+	// Parallel caps how many independent sim instances a shardable
+	// experiment (crash sweep, fig9, fig11, fig13) runs concurrently; 0 or 1
+	// is serial. Shards never print — results are merged and printed in
+	// canonical shard order — so output is byte-identical at any setting.
+	Parallel int
+	// Headline, when non-nil, receives (name, value) headline metrics from
+	// the façade after each experiment, for machine-readable snapshots
+	// (cmd/nvdimmc-bench -json). Called from the merge step only, never from
+	// a shard goroutine.
+	Headline func(name string, value float64)
 }
 
 func (o Options) out() io.Writer {
@@ -41,6 +51,14 @@ func (o Options) pick(full, quick int) int {
 		return quick
 	}
 	return full
+}
+
+// workers returns the shard-pool width runShards should use.
+func (o Options) workers() int {
+	if o.Parallel < 1 {
+		return 1
+	}
+	return o.Parallel
 }
 
 func (o Options) printf(format string, args ...interface{}) {

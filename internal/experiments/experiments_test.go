@@ -2,11 +2,15 @@ package experiments
 
 import (
 	"os"
+	"runtime"
 	"testing"
 )
 
+// optsQuick runs with the shard pool enabled so the whole suite — including
+// the -race pass — exercises the parallel harness; output and results are
+// byte-identical to serial by construction (see parallel_test.go).
 func optsQuick(t *testing.T) Options {
-	o := Options{Quick: true}
+	o := Options{Quick: true, Parallel: runtime.GOMAXPROCS(0)}
 	if testing.Verbose() {
 		o.Out = os.Stdout
 	}

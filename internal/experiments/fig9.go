@@ -91,6 +91,16 @@ func Fig9(o Options) (Fig9Result, error) {
 		return fio.Result{}, fmt.Errorf("experiments: unknown series %q", name)
 	}
 
+	// Every (series, pattern, threads) sample is an independent system build
+	// plus run, so the whole sweep fans out as shards and merges in the
+	// canonical enumeration order below.
+	type sweepPoint struct {
+		series string
+		key    string
+		write  bool
+		jobs   int
+	}
+	var pts []sweepPoint
 	for _, series := range []string{"baseline", "cached", "uncached"} {
 		for _, write := range []bool{false, true} {
 			key := series + "-read"
@@ -101,15 +111,23 @@ func Fig9(o Options) (Fig9Result, error) {
 				if series == "uncached" && jobs > 8 {
 					continue // the paper stops the uncached sweep early too
 				}
-				r, err := run(series, write, jobs)
-				if err != nil {
-					return res, fmt.Errorf("%s jobs=%d: %w", key, jobs, err)
-				}
-				res.Series[key] = append(res.Series[key], Fig9Point{
-					Threads: jobs, KIOPS: r.KIOPS(), MBps: r.BandwidthMBps(),
-				})
+				pts = append(pts, sweepPoint{series: series, key: key, write: write, jobs: jobs})
 			}
 		}
+	}
+	measured, err := runShards(len(pts), o.workers(), func(i int) (Fig9Point, error) {
+		p := pts[i]
+		r, err := run(p.series, p.write, p.jobs)
+		if err != nil {
+			return Fig9Point{}, fmt.Errorf("%s jobs=%d: %w", p.key, p.jobs, err)
+		}
+		return Fig9Point{Threads: p.jobs, KIOPS: r.KIOPS(), MBps: r.BandwidthMBps()}, nil
+	})
+	if err != nil {
+		return res, err
+	}
+	for i, p := range pts {
+		res.Series[p.key] = append(res.Series[p.key], measured[i])
 	}
 
 	o.printf("== Fig. 9: 4KB random R/W vs thread count ==\n")

@@ -1,0 +1,122 @@
+package experiments
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"reflect"
+	"sync/atomic"
+	"testing"
+)
+
+// TestRunShardsOrderAndErrors: results land at their shard index regardless
+// of worker count, every shard runs even when one fails, and the joined
+// error leads with the lowest failing shard.
+func TestRunShardsOrderAndErrors(t *testing.T) {
+	for _, workers := range []int{1, 3, 16} {
+		got, err := runShards(10, workers, func(i int) (int, error) {
+			return i * i, nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: shard %d = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+
+	var ran atomic.Int64
+	_, err := runShards(8, 4, func(i int) (int, error) {
+		ran.Add(1)
+		if i == 2 || i == 5 {
+			return 0, fmt.Errorf("shard %d boom", i)
+		}
+		return i, nil
+	})
+	if ran.Load() != 8 {
+		t.Fatalf("only %d/8 shards ran after a failure", ran.Load())
+	}
+	if err == nil {
+		t.Fatal("failing shards reported no error")
+	}
+	var first string
+	if lines := err.Error(); len(lines) > 0 {
+		first = lines
+	}
+	if want := "shard 2 boom"; len(first) < len(want) || first[:len(want)] != want {
+		t.Fatalf("joined error does not lead with lowest shard: %q", err)
+	}
+	if !errors.Is(err, err) { // sanity: joined error is inspectable
+		t.Fatal("joined error broken")
+	}
+}
+
+// TestCrashSweepParallelIdentical: the tentpole determinism guarantee — the
+// crash sweep with 4 workers must produce byte-identical printed output and
+// an identical result struct to the serial run from the same seed.
+func TestCrashSweepParallelIdentical(t *testing.T) {
+	run := func(parallel int) (*CrashResult, string) {
+		var buf bytes.Buffer
+		res, err := CrashSweep(Options{Quick: true, Out: &buf, Parallel: parallel})
+		if err != nil {
+			t.Fatalf("parallel=%d: %v", parallel, err)
+		}
+		return res, buf.String()
+	}
+	serialRes, serialOut := run(1)
+	parRes, parOut := run(4)
+	if serialOut != parOut {
+		t.Fatalf("output diverged:\n--- serial ---\n%s\n--- parallel ---\n%s", serialOut, parOut)
+	}
+	if !reflect.DeepEqual(serialRes, parRes) {
+		t.Fatalf("results diverged: %+v vs %+v", serialRes, parRes)
+	}
+}
+
+// TestFig9ParallelIdentical: same guarantee for the thread-sweep matrix.
+func TestFig9ParallelIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two full quick fig9 runs; skipped under -short")
+	}
+	run := func(parallel int) (Fig9Result, string) {
+		var buf bytes.Buffer
+		res, err := Fig9(Options{Quick: true, Out: &buf, Parallel: parallel})
+		if err != nil {
+			t.Fatalf("parallel=%d: %v", parallel, err)
+		}
+		return res, buf.String()
+	}
+	serialRes, serialOut := run(1)
+	parRes, parOut := run(4)
+	if serialOut != parOut {
+		t.Fatalf("output diverged:\n--- serial ---\n%s\n--- parallel ---\n%s", serialOut, parOut)
+	}
+	if !reflect.DeepEqual(serialRes, parRes) {
+		t.Fatalf("results diverged: %+v vs %+v", serialRes, parRes)
+	}
+}
+
+// TestFig13ParallelIdentical: same guarantee for the tREFI sweep.
+func TestFig13ParallelIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two full quick fig13 runs; skipped under -short")
+	}
+	run := func(parallel int) (Fig13Result, string) {
+		var buf bytes.Buffer
+		res, err := Fig13(Options{Quick: true, Out: &buf, Parallel: parallel})
+		if err != nil {
+			t.Fatalf("parallel=%d: %v", parallel, err)
+		}
+		return res, buf.String()
+	}
+	serialRes, serialOut := run(1)
+	parRes, parOut := run(4)
+	if serialOut != parOut {
+		t.Fatalf("output diverged:\n--- serial ---\n%s\n--- parallel ---\n%s", serialOut, parOut)
+	}
+	if !reflect.DeepEqual(serialRes, parRes) {
+		t.Fatalf("results diverged: %+v vs %+v", serialRes, parRes)
+	}
+}

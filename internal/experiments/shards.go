@@ -1,0 +1,54 @@
+// Shard fan-out for the experiment layer. The evaluation is dominated by
+// matrices of *independent* sim runs — 64 seeded power-fail points, one
+// system per thread-sweep point, one per tREFI setting, one per TPC-H query.
+// Each shard builds its own System (seeded via sim.SplitSeed where
+// randomness is involved), so shards share no mutable state and can run on
+// any number of OS threads without perturbing each other's event streams.
+//
+// Determinism contract: runShards always executes every shard, returns
+// results indexed by shard, and callers print only from the merged slice in
+// shard order — so the output is byte-identical for any worker count,
+// including the serial workers<=1 path.
+package experiments
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+)
+
+// runShards runs fn(0..n-1) across at most `workers` goroutines and returns
+// the n results in shard order. Every shard runs even if another fails; the
+// returned error joins the per-shard errors in shard order (so the first
+// line of the message is the lowest failing shard, matching what a serial
+// loop would have reported first).
+func runShards[T any](n, workers int, fn func(shard int) (T, error)) ([]T, error) {
+	results := make([]T, n)
+	errs := make([]error, n)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			results[i], errs[i] = fn(i)
+		}
+		return results, errors.Join(errs...)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				results[i], errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	return results, errors.Join(errs...)
+}

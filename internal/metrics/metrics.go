@@ -13,7 +13,9 @@ import (
 )
 
 // Histogram records latencies with log-spaced buckets plus exact min/max and
-// a bounded reservoir for percentile estimation.
+// a bounded reservoir for percentile estimation. Like every type in this
+// package it is shard-local: one instance per sim instance, merged (if at
+// all) by the experiment layer after its shards join.
 type Histogram struct {
 	count   uint64
 	sum     sim.Duration
@@ -22,6 +24,11 @@ type Histogram struct {
 	samples []sim.Duration // reservoir
 	seen    uint64
 	rng     uint64
+	// sorted caches the ascending reservoir between Records so repeated
+	// Percentile queries (String alone makes two) cost one sort per batch of
+	// observations instead of one per call.
+	sorted []sim.Duration
+	dirty  bool
 }
 
 // reservoirSize bounds per-histogram memory.
@@ -45,6 +52,7 @@ func (h *Histogram) Record(d sim.Duration) {
 	h.seen++
 	if len(h.samples) < reservoirSize {
 		h.samples = append(h.samples, d)
+		h.dirty = true
 		return
 	}
 	// Vitter's algorithm R.
@@ -53,6 +61,7 @@ func (h *Histogram) Record(d sim.Duration) {
 	h.rng ^= h.rng << 17
 	if idx := h.rng % h.seen; idx < uint64(len(h.samples)) {
 		h.samples[idx] = d
+		h.dirty = true
 	}
 }
 
@@ -78,22 +87,39 @@ func (h *Histogram) Min() sim.Duration {
 // Max returns the maximum observation.
 func (h *Histogram) Max() sim.Duration { return h.max }
 
-// Percentile returns the p-th percentile (0 <= p <= 100) from the reservoir.
+// sortedSamples returns the reservoir in ascending order, re-sorting only
+// when observations arrived since the last query.
+func (h *Histogram) sortedSamples() []sim.Duration {
+	if h.dirty || len(h.sorted) != len(h.samples) {
+		h.sorted = append(h.sorted[:0], h.samples...)
+		sort.Slice(h.sorted, func(i, j int) bool { return h.sorted[i] < h.sorted[j] })
+		h.dirty = false
+	}
+	return h.sorted
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) from the reservoir,
+// linearly interpolating between neighbouring ranks. The former truncating
+// nearest-rank index systematically biased tail percentiles (p99, p999) low
+// whenever the exact rank fell between two samples.
 func (h *Histogram) Percentile(p float64) sim.Duration {
-	if len(h.samples) == 0 {
+	s := h.sortedSamples()
+	if len(s) == 0 {
 		return 0
 	}
-	s := make([]sim.Duration, len(h.samples))
-	copy(s, h.samples)
-	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
-	idx := int(p / 100 * float64(len(s)-1))
-	if idx < 0 {
-		idx = 0
+	if p <= 0 {
+		return s[0]
 	}
-	if idx >= len(s) {
-		idx = len(s) - 1
+	if p >= 100 {
+		return s[len(s)-1]
 	}
-	return s[idx]
+	rank := p / 100 * float64(len(s)-1)
+	lo := int(rank)
+	if lo >= len(s)-1 {
+		return s[len(s)-1]
+	}
+	frac := rank - float64(lo)
+	return s[lo] + sim.Duration(math.Round(frac*float64(s[lo+1]-s[lo])))
 }
 
 func (h *Histogram) String() string {
@@ -192,10 +218,14 @@ func (s *Series) Mean() float64 {
 // the driver and device models count every fault-handling transition here so
 // tests (and core.CheckHealth) can assert exactly which recovery paths ran.
 // Names are registered implicitly on first use; iteration is sorted so output
-// is deterministic.
+// is deterministic. Sorting happens lazily in Names/String — registration is
+// O(1) — and a Counters is shard-local under the parallel experiment
+// harness: each sharded sim instance owns its set, never shared across
+// goroutines, and the merge step reads them only after the shard joins.
 type Counters struct {
-	names []string
-	m     map[string]uint64
+	names  []string
+	sorted bool
+	m      map[string]uint64
 }
 
 // NewCounters returns an empty counter set.
@@ -206,11 +236,13 @@ func NewCounters() *Counters {
 // Inc adds one to the named counter.
 func (c *Counters) Inc(name string) { c.Add(name, 1) }
 
-// Add adds n to the named counter.
+// Add adds n to the named counter. First-use registration is O(1): the name
+// list is sorted lazily on read (the old eager re-sort per registration was
+// O(n^2 log n) across a run).
 func (c *Counters) Add(name string, n uint64) {
 	if _, ok := c.m[name]; !ok {
 		c.names = append(c.names, name)
-		sort.Strings(c.names)
+		c.sorted = false
 	}
 	c.m[name] += n
 }
@@ -218,8 +250,17 @@ func (c *Counters) Add(name string, n uint64) {
 // Get returns the named counter's value (0 if never touched).
 func (c *Counters) Get(name string) uint64 { return c.m[name] }
 
+// sortNames establishes the sorted order readers rely on.
+func (c *Counters) sortNames() {
+	if !c.sorted {
+		sort.Strings(c.names)
+		c.sorted = true
+	}
+}
+
 // Names returns the registered counter names in sorted order.
 func (c *Counters) Names() []string {
+	c.sortNames()
 	out := make([]string, len(c.names))
 	copy(out, c.names)
 	return out
@@ -249,6 +290,7 @@ func (c *Counters) String() string {
 	if len(c.names) == 0 {
 		return "{}"
 	}
+	c.sortNames()
 	parts := make([]string, 0, len(c.names))
 	for _, n := range c.names {
 		parts = append(parts, fmt.Sprintf("%s=%d", n, c.m[n]))

@@ -30,6 +30,69 @@ func TestHistogramBasics(t *testing.T) {
 	}
 }
 
+// TestHistogramPercentileExact pins Percentile against hand-computed values
+// on known sample sets: interpolation between ranks, exact endpoints, and no
+// low bias at the tail (the old truncating index returned s[floor(rank)]).
+func TestHistogramPercentileExact(t *testing.T) {
+	// 1..100: rank(p) = p/100 * 99.
+	h := NewHistogram()
+	for i := 1; i <= 100; i++ {
+		h.Record(sim.Duration(i))
+	}
+	cases := []struct {
+		p    float64
+		want sim.Duration
+	}{
+		{0, 1},
+		{100, 100},
+		{50, 51},    // rank 49.5 -> 50 + round(0.5*1)
+		{25, 26},    // rank 24.75 -> 25 + round(0.75*1)
+		{99, 99},    // rank 98.01 -> 99 + round(0.01*1)
+		{75, 75},    // rank 74.25 -> 75 + round(0.25*1)
+		{99.9, 100}, // rank 98.901 -> 99 + round(0.901*1)
+	}
+	for _, c := range cases {
+		if got := h.Percentile(c.p); got != c.want {
+			t.Errorf("p%v = %v, want %v", c.p, got, c.want)
+		}
+	}
+
+	// Four widely spaced samples: the tail must interpolate toward the max,
+	// not truncate down a full gap.
+	h2 := NewHistogram()
+	for _, d := range []sim.Duration{10, 20, 30, 40} {
+		h2.Record(d)
+	}
+	if got := h2.Percentile(99.9); got != 40 { // rank 2.997 -> 30 + round(0.997*10)
+		t.Errorf("p99.9 of {10,20,30,40} = %v, want 40 (old nearest-rank gave 30)", got)
+	}
+	if got := h2.Percentile(50); got != 25 { // rank 1.5 -> 20 + round(0.5*10)
+		t.Errorf("p50 of {10,20,30,40} = %v, want 25", got)
+	}
+}
+
+// TestHistogramPercentileCacheInvalidation: the sorted cache must be rebuilt
+// after new observations, including reservoir replacements once full.
+func TestHistogramPercentileCacheInvalidation(t *testing.T) {
+	h := NewHistogram()
+	h.Record(10)
+	if got := h.Percentile(100); got != 10 {
+		t.Fatalf("p100 = %v, want 10", got)
+	}
+	h.Record(99)
+	if got := h.Percentile(100); got != 99 {
+		t.Fatalf("p100 after new sample = %v, want 99 (stale sorted cache?)", got)
+	}
+	// Fill the reservoir and keep recording: replacements must also
+	// invalidate. Record a constant so any replacement is observable.
+	for i := 0; i < 10*reservoirSize; i++ {
+		h.Record(7)
+	}
+	if got := h.Percentile(50); got != 7 {
+		t.Fatalf("p50 after flooding with 7s = %v, want 7", got)
+	}
+}
+
 func TestHistogramEmpty(t *testing.T) {
 	h := NewHistogram()
 	if h.Mean() != 0 || h.Min() != 0 || h.Percentile(99) != 0 {
@@ -98,6 +161,32 @@ func TestSeries(t *testing.T) {
 	var empty Series
 	if empty.Mean() != 0 {
 		t.Fatal("empty series mean")
+	}
+}
+
+// TestCountersLazySort: registration order must not leak into reads, and
+// names registered after a read must still come back sorted.
+func TestCountersLazySort(t *testing.T) {
+	c := NewCounters()
+	c.Inc("zeta")
+	c.Inc("alpha")
+	c.Add("mid", 3)
+	got := c.Names()
+	if len(got) != 3 || got[0] != "alpha" || got[1] != "mid" || got[2] != "zeta" {
+		t.Fatalf("Names() = %v, want sorted", got)
+	}
+	// Register more after the sort; the next read must re-sort.
+	c.Inc("aardvark")
+	c.Inc("beta")
+	got = c.Names()
+	want := []string{"aardvark", "alpha", "beta", "mid", "zeta"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Names() after late registration = %v, want %v", got, want)
+		}
+	}
+	if s := c.String(); s != "{aardvark=1 alpha=1 beta=1 mid=3 zeta=1}" {
+		t.Fatalf("String() = %q", s)
 	}
 }
 

@@ -86,6 +86,86 @@ func TestKernelNegativeDelayClamped(t *testing.T) {
 		})
 	})
 	k.Run()
+	if n := k.NegativeDelays(); n != 1 {
+		t.Fatalf("NegativeDelays = %d, want 1", n)
+	}
+}
+
+func TestKernelNegativeDelaysZeroOnCleanRun(t *testing.T) {
+	k := NewKernel()
+	for i := 0; i < 100; i++ {
+		k.Schedule(Duration(i)*Nanosecond, func() {})
+	}
+	k.Run()
+	if n := k.NegativeDelays(); n != 0 {
+		t.Fatalf("NegativeDelays = %d on a clean run, want 0", n)
+	}
+	// ScheduleAt clamping to now is the "asap" idiom, not a causality bug.
+	k.ScheduleAt(Time(0), func() {})
+	k.Run()
+	if n := k.NegativeDelays(); n != 0 {
+		t.Fatalf("past ScheduleAt counted as negative delay")
+	}
+}
+
+// TestKernelSteadyStateZeroAlloc is the hard form of the kernel fast-path
+// requirement: once the heap slice has capacity, Schedule+Step must not
+// allocate at all.
+func TestKernelSteadyStateZeroAlloc(t *testing.T) {
+	k := NewKernel()
+	// Warm the heap slice past any capacity we will use.
+	for i := 0; i < 1024; i++ {
+		k.Schedule(Duration(i)*Nanosecond, nop)
+	}
+	k.Run()
+	for i := 0; i < 64; i++ {
+		k.Schedule(Duration(i)*Nanosecond, nop)
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		k.Schedule(100*Nanosecond, nop)
+		k.Step()
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state Schedule+Step = %v allocs/op, want 0", allocs)
+	}
+}
+
+// Property: for any multiset of delays, events fire in nondecreasing time
+// order with FIFO tie-breaking — the hand-rolled value heap must match what
+// container/heap guaranteed.
+func TestKernelHeapOrderProperty(t *testing.T) {
+	f := func(delaysRaw []uint16) bool {
+		k := NewKernel()
+		type fired struct {
+			at  Time
+			seq int
+		}
+		var got []fired
+		for i, d := range delaysRaw {
+			i := i
+			at := k.Now().Add(Duration(d) * Nanosecond)
+			k.Schedule(Duration(d)*Nanosecond, func() {
+				got = append(got, fired{at: at, seq: i})
+			})
+			_ = at
+		}
+		k.Run()
+		if len(got) != len(delaysRaw) {
+			return false
+		}
+		for i := 1; i < len(got); i++ {
+			if got[i].at < got[i-1].at {
+				return false
+			}
+			if got[i].at == got[i-1].at && got[i].seq < got[i-1].seq {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
 }
 
 func TestKernelScheduleAtPast(t *testing.T) {

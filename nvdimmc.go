@@ -20,6 +20,7 @@
 package nvdimmc
 
 import (
+	"errors"
 	"fmt"
 	"io"
 
@@ -75,35 +76,140 @@ func BaselineConfig() pmem.Config { return pmem.DefaultConfig() }
 // NewBaseline builds the comparator device.
 func NewBaseline(cfg pmem.Config) (*Baseline, error) { return pmem.New(cfg) }
 
-// ExperimentOptions control the figure/table harnesses.
+// ExperimentOptions control the figure/table harnesses. Parallel fans the
+// shardable experiments (crash, fig9, fig11, fig13) across that many
+// workers with byte-identical output; Headline receives per-experiment
+// headline metrics for machine-readable snapshots.
 type ExperimentOptions = experiments.Options
 
 // Experiments exposes every evaluation harness keyed by the paper's
 // figure/table identifiers. Each prints its paper-vs-measured rows to
-// opts.Out and returns an error if the run could not complete.
+// opts.Out, reports its headline metrics through opts.Headline (when set),
+// and returns an error if the run could not complete.
 func Experiments(opts ExperimentOptions) map[string]func() error {
+	hl := func(name string, v float64) {
+		if opts.Headline != nil {
+			opts.Headline(name, v)
+		}
+	}
 	return map[string]func() error{
 		"table1": func() error { experiments.Table1(opts); return nil },
 		"table2": func() error { experiments.Table2(opts); return nil },
-		"aging":  func() error { _, err := experiments.Aging(opts); return err },
-		"fig7":   func() error { _, err := experiments.Fig7(opts); return err },
-		"fig8":   func() error { _, err := experiments.Fig8(opts); return err },
-		"fig9":   func() error { _, err := experiments.Fig9(opts); return err },
-		"fig10":  func() error { _, err := experiments.Fig10(opts); return err },
-		"fig11":  func() error { _, err := experiments.Fig11(opts); return err },
-		"fig12":  func() error { _, err := experiments.Fig12(opts); return err },
-		"fig13":  func() error { _, err := experiments.Fig13(opts); return err },
-		"mixed":  func() error { _, err := experiments.MixedLoad(opts); return err },
-		"lru":    func() error { _, err := experiments.LRUStudy(opts); return err },
-		"windows": func() error {
-			_, err := experiments.Windows(opts)
+		"aging": func() error {
+			res, err := experiments.Aging(opts)
+			if err == nil {
+				hl("windows", float64(res.WindowsSeen))
+			}
 			return err
 		},
-		"ablations": func() error { _, err := experiments.Ablations(opts); return err },
-		"endurance": func() error { _, err := experiments.Endurance(opts); return err },
-		"frontend":  func() error { experiments.FrontendAnalysis(opts); return nil },
+		"fig7": func() error {
+			res, err := experiments.Fig7(opts)
+			if err == nil {
+				hl("cached-MBps", res.CachedMBps)
+				hl("uncached-MBps", res.UncachedMBps)
+			}
+			return err
+		},
+		"fig8": func() error {
+			res, err := experiments.Fig8(opts)
+			if err == nil {
+				hl("baseline-read-MBps", res.Get("baseline-read bandwidth"))
+				hl("cached-read-MBps", res.Get("cached-read bandwidth"))
+				hl("uncached-read-MBps", res.Get("uncached-read bandwidth"))
+			}
+			return err
+		},
+		"fig9": func() error {
+			res, err := experiments.Fig9(opts)
+			if err == nil {
+				_, basePeak := res.Peak("baseline-read")
+				_, cachedPeak := res.Peak("cached-read")
+				hl("baseline-peak-MBps", basePeak)
+				hl("cached-peak-MBps", cachedPeak)
+			}
+			return err
+		},
+		"fig10": func() error {
+			res, err := experiments.Fig10(opts)
+			if err == nil {
+				hl("cached-128B-KIOPS", res.At("cached-read", 128).KIOPS)
+				hl("cached-64K-MBps", res.At("cached-read", 65536).MBps)
+			}
+			return err
+		},
+		"fig11": func() error {
+			res, err := experiments.Fig11(opts)
+			if err == nil && len(res.Slowdown) > 0 {
+				hl("Q1-slowdown-x", res.Slowdown[0])
+				hl("Qlast-slowdown-x", res.Slowdown[len(res.Slowdown)-1])
+			}
+			return err
+		},
+		"fig12": func() error {
+			res, err := experiments.Fig12(opts)
+			if err == nil && len(res.Rows) > 0 {
+				hl("tD1.85us-MBps", res.Rows[len(res.Rows)-1].Measured)
+			}
+			return err
+		},
+		"fig13": func() error {
+			res, err := experiments.Fig13(opts)
+			if err == nil && len(res.Rows) > 0 {
+				hl("tREFI-MBps", res.Rows[0].Measured)
+				hl("tREFI4-16T-MBps", res.Peak16T)
+			}
+			return err
+		},
+		"mixed": func() error {
+			res, err := experiments.MixedLoad(opts)
+			if err == nil {
+				hl("transactions", float64(res.Transactions))
+			}
+			return err
+		},
+		"lru": func() error {
+			res, err := experiments.LRUStudy(opts)
+			if err == nil && len(res.LRU) > 0 {
+				hl("LRU-first-hit-pct", 100*res.LRU[0])
+				hl("LRU-last-hit-pct", 100*res.LRU[len(res.LRU)-1])
+			}
+			return err
+		},
+		"windows": func() error {
+			res, err := experiments.Windows(opts)
+			if err == nil {
+				hl("pair-us", res.MeasuredPairUS)
+			}
+			return err
+		},
+		"ablations": func() error {
+			res, err := experiments.Ablations(opts)
+			if err == nil && len(res.Rows) > 4 {
+				hl("PoC-MBps", res.Rows[0].Measured)
+				hl("optimized-MBps", res.Rows[4].Measured)
+			}
+			return err
+		},
+		"endurance": func() error {
+			res, err := experiments.Endurance(opts)
+			if err == nil {
+				hl("write-amp", res.WriteAmp)
+			}
+			return err
+		},
+		"frontend": func() error {
+			res := experiments.FrontendAnalysis(opts)
+			hl("budget-ns", res.Budget.Nanoseconds())
+			return nil
+		},
 		"crash": func() error {
 			res, err := experiments.CrashSweep(opts)
+			if err == nil {
+				hl("points", float64(res.Points))
+				hl("acked-writes", float64(res.Acked))
+				hl("flushed-pages", float64(res.Flushed))
+				hl("acked-writes-lost", float64(len(res.Failures)))
+			}
 			if err == nil && len(res.Failures) > 0 {
 				err = fmt.Errorf("crash sweep: %d acked writes lost (seed %#x)",
 					len(res.Failures), res.Seed)
@@ -122,14 +228,17 @@ func ExperimentNames() []string {
 	}
 }
 
-// RunAll executes every harness in order, writing to out.
+// RunAll executes every harness in order, writing to out. A failing
+// experiment no longer aborts the rest: every harness runs, and the joined
+// per-experiment errors come back together (nil if all passed).
 func RunAll(out io.Writer, quick bool) error {
 	opts := ExperimentOptions{Quick: quick, Out: out}
 	m := Experiments(opts)
+	var errs []error
 	for _, name := range ExperimentNames() {
 		if err := m[name](); err != nil {
-			return err
+			errs = append(errs, fmt.Errorf("%s: %w", name, err))
 		}
 	}
-	return nil
+	return errors.Join(errs...)
 }
