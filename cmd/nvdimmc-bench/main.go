@@ -16,7 +16,7 @@
 // trajectory is trackable across commits.
 //
 // Available experiments: table1 table2 frontend aging fig7 fig8 fig9 fig10
-// fig11 mixed lru fig12 fig13 windows ablations endurance crash.
+// fig11 mixed lru fig12 fig13 windows ablations endurance crash conformance.
 package main
 
 import (

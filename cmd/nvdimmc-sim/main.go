@@ -25,6 +25,7 @@ func main() {
 	ops := flag.Int("ops", 1000, "operations per thread")
 	uncached := flag.Bool("uncached", false, "nvdc: force misses (footprint >> cache, media prefilled)")
 	policy := flag.String("policy", "lrc", "nvdc slot replacement: lrc | lru | clock")
+	audit := flag.Bool("audit", true, "nvdc: run the protocol-invariant auditor on the trace stream")
 	flag.Parse()
 
 	var pat fio.Pattern
@@ -60,6 +61,7 @@ func main() {
 		if *uncached {
 			cfg.NAND.BlocksPerDie = 512
 		}
+		cfg.Audit = *audit
 		s, err := nvdimmc.New(cfg)
 		die(err)
 		sys = s
@@ -99,6 +101,10 @@ func main() {
 		nv := sys.NVMC.Stats()
 		fmt.Printf("nvmc: windows=%d used=%d polls=%d windows/cmd=%.1f\n",
 			nv.WindowsSeen, nv.WindowsUsed, nv.Polls, nv.WindowsPerCmd)
+		if sys.Auditor != nil {
+			fmt.Printf("audit: events=%d violations=%d\n",
+				sys.Auditor.Events(), sys.Auditor.ViolationCount())
+		}
 		die(sys.CheckHealth())
 	}
 }

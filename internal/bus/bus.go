@@ -61,8 +61,9 @@ type Channel struct {
 
 	snoops []Snoop
 
-	// Trace, when set, records channel activity for bring-up debugging.
-	Trace *trace.Log
+	// Trace, when attached to sinks, publishes channel activity: the
+	// bring-up ring log and the protocol auditor both subscribe here.
+	Trace *trace.Recorder
 
 	lastCmdAt     sim.Time
 	lastCmdMaster Master
@@ -117,8 +118,11 @@ func (c *Channel) Collisions() []Collision { return c.collisions }
 func (c *Channel) CollisionCount() uint64 { return c.collisionsN }
 
 func (c *Channel) collide(by Master, format string, args ...interface{}) {
-	if c.Trace != nil {
-		c.Trace.Addf(c.k.Now(), trace.KindCollision, format, args...)
+	if c.Trace.Active() {
+		c.Trace.Record(trace.Event{
+			At: c.k.Now(), Kind: trace.KindCollision,
+			Master: int(by), Detail: fmt.Sprintf(format, args...),
+		})
 	}
 	c.collisionsN++
 	if len(c.collisions) < c.collisionLimit {
@@ -148,12 +152,12 @@ func (c *Channel) Issue(m Master, cmd ddr4.Command) {
 	} else {
 		c.nvmcCommands++
 	}
-	if c.Trace != nil {
+	if c.Trace.Active() {
 		kind := trace.KindCommand
 		if cmd.Kind == ddr4.CmdRefresh {
 			kind = trace.KindRefresh
 		}
-		c.Trace.Addf(now, kind, "%v: %v", m, cmd)
+		c.Trace.Record(trace.Event{At: now, Kind: kind, Master: int(m), Cmd: cmd})
 	}
 	// Command collision: both masters driving the CA wires within one clock.
 	if c.lastCmdValid && now.Sub(c.lastCmdAt) < c.timing.TCK && c.lastCmdMaster != m {
@@ -193,6 +197,12 @@ func (c *Channel) HostRead(addr int64, buf []byte, rowSwitches int, done func())
 		}
 		c.hostBytes += uint64(len(buf))
 		c.hostHoldUntil = start.Add(hold)
+		if c.Trace.Active() {
+			c.Trace.Record(trace.Event{
+				At: start, Kind: trace.KindHostData, Read: true,
+				Addr: addr, Bytes: len(buf), End: start.Add(hold),
+			})
+		}
 		if done != nil {
 			c.k.ScheduleAt(start.Add(hold), done)
 		}
@@ -211,6 +221,12 @@ func (c *Channel) HostWrite(addr int64, data []byte, rowSwitches int, done func(
 		}
 		c.hostBytes += uint64(len(owned))
 		c.hostHoldUntil = start.Add(hold)
+		if c.Trace.Active() {
+			c.Trace.Record(trace.Event{
+				At: start, Kind: trace.KindHostData, Read: false,
+				Addr: addr, Bytes: len(owned), End: start.Add(hold),
+			})
+		}
 		if done != nil {
 			c.k.ScheduleAt(start.Add(hold), done)
 		}
@@ -231,12 +247,11 @@ func (c *Channel) NVMCAccess(addr int64, buf []byte, read bool) error {
 		}
 	}
 	c.nvmcBytes += uint64(len(buf))
-	if c.Trace != nil {
-		dir := "write"
-		if read {
-			dir = "read"
-		}
-		c.Trace.Addf(now, trace.KindNVMCData, "%s %dB @%#x", dir, len(buf), addr)
+	if c.Trace.Active() {
+		c.Trace.Record(trace.Event{
+			At: now, Kind: trace.KindNVMCData, Read: read,
+			Addr: addr, Bytes: len(buf),
+		})
 	}
 	if read {
 		return c.dev.CopyOut(addr, buf)

@@ -1,0 +1,194 @@
+// Randomized conformance fuzzing: a seeded generator produces a Plan — a
+// timing register program, an op mix and a fault-injection schedule — that a
+// harness (internal/experiments.Conformance) replays against a full System
+// with the auditor attached in strict mode. Everything here is derived
+// deterministically from one uint64, so a failing plan is its seed: the
+// minimal reproducer the shrinker emits is just (seed, op count).
+//
+// The generator lives in this package, away from the System it drives, so
+// core can depend on the auditor while the fuzzer's executor lives with the
+// other harnesses in internal/experiments.
+package conform
+
+import (
+	"fmt"
+
+	"nvdimmc/internal/fault"
+	"nvdimmc/internal/sim"
+)
+
+// OpKind is one fuzzed application operation.
+type OpKind int
+
+// The op mix: page-sized reads and writes through the DAX path plus
+// explicit persistence flushes.
+const (
+	OpRead OpKind = iota
+	OpWrite
+	OpFlush
+)
+
+func (k OpKind) String() string {
+	switch k {
+	case OpRead:
+		return "read"
+	case OpWrite:
+		return "write"
+	default:
+		return "flush"
+	}
+}
+
+// Op is one generated operation.
+type Op struct {
+	Kind OpKind
+	LPN  int64
+	Tag  byte // payload tag for write self-description
+}
+
+// FaultArm describes one armed fault rule (registry-independent, so a plan
+// can be re-armed on every re-run during shrinking).
+type FaultArm struct {
+	Site  fault.Site
+	Prob  float64 // when > 0: probabilistic rule
+	OnNth uint64  // when > 0: fire on the n-th consultation
+	Times uint64  // 0 = unlimited
+	Param int64   // site-specific parameter (0 = site default)
+}
+
+func (f FaultArm) String() string {
+	if f.Prob > 0 {
+		return fmt.Sprintf("%s p=%.2f", f.Site, f.Prob)
+	}
+	return fmt.Sprintf("%s n=%d times=%d", f.Site, f.OnNth, f.Times)
+}
+
+// Plan is one fully determined conformance run.
+type Plan struct {
+	Seed     uint64
+	TREFI    sim.Duration // randomized refresh cadence (Fig. 13 register menu)
+	TRFC     sim.Duration // randomized programmed refresh cycle (Fig. 12 menu)
+	LPNRange int64        // ops target [0, LPNRange) pages
+	Ops      []Op
+	Faults   []FaultArm
+}
+
+// The register menus the paper programs via the Skylake MMIO configuration
+// space: tREFI at 1x/2x/4x rate (§VII-D), tRFC from just past the JEDEC
+// 350 ns floor to the PoC's 1.25 us and beyond (§VII-C). Every pair keeps
+// tRFC < tREFI, which imc.New enforces.
+var (
+	trefiMenu = []sim.Duration{7800 * sim.Nanosecond, 3900 * sim.Nanosecond, 1950 * sim.Nanosecond}
+	trfcMenu  = []sim.Duration{1050 * sim.Nanosecond, 1250 * sim.Nanosecond, 1450 * sim.Nanosecond, 1850 * sim.Nanosecond}
+)
+
+// faultMenu is the recoverable-fault catalog the fuzzer arms. It
+// deliberately excludes RefdetSampleFlip: a detector false positive is
+// system-fatal by design (§IV-A), so it is not a legal thing to survive.
+var faultMenu = []func(r *sim.Rand) FaultArm{
+	func(r *sim.Rand) FaultArm {
+		return FaultArm{Site: fault.CPAckDrop, Prob: 0.02 + 0.2*r.Float64()}
+	},
+	func(r *sim.Rand) FaultArm {
+		return FaultArm{Site: fault.CPAckCorrupt, Prob: 0.02 + 0.2*r.Float64()}
+	},
+	func(r *sim.Rand) FaultArm {
+		return FaultArm{Site: fault.NVMCWindowOverrun, Prob: 0.05 + 0.2*r.Float64()}
+	},
+	func(r *sim.Rand) FaultArm {
+		return FaultArm{Site: fault.NVMCFirmwareStall, OnNth: 1 + uint64(r.Intn(8)),
+			Times: 1 + uint64(r.Intn(2)), Param: 200 + int64(r.Intn(800))}
+	},
+	func(r *sim.Rand) FaultArm {
+		return FaultArm{Site: fault.BusSnoopDrop, Prob: 0.01 + 0.1*r.Float64()}
+	},
+	func(r *sim.Rand) FaultArm {
+		return FaultArm{Site: fault.NANDReadBitFlip, OnNth: 1 + uint64(r.Intn(6)),
+			Times: 1 + uint64(r.Intn(3))}
+	},
+	func(r *sim.Rand) FaultArm {
+		return FaultArm{Site: fault.NANDProgramFail, OnNth: 1 + uint64(r.Intn(6)),
+			Times: 1 + uint64(r.Intn(2))}
+	},
+	func(r *sim.Rand) FaultArm {
+		return FaultArm{Site: fault.NANDDieTimeout, OnNth: 1 + uint64(r.Intn(6)), Times: 1}
+	},
+}
+
+// NewPlan derives a complete conformance plan from one seed. maxOps bounds
+// the op count (the actual count is randomized within [maxOps/2, maxOps]);
+// lpnRange is the page-address range ops target (keep it a small multiple
+// of the slot count so evictions and writebacks stay hot); withFaults arms
+// 1-3 random recoverable-fault rules.
+func NewPlan(seed uint64, maxOps int, lpnRange int64, withFaults bool) Plan {
+	r := sim.NewRand(seed)
+	p := Plan{
+		Seed:     seed,
+		TREFI:    trefiMenu[r.Intn(len(trefiMenu))],
+		TRFC:     trfcMenu[r.Intn(len(trfcMenu))],
+		LPNRange: lpnRange,
+	}
+	n := maxOps/2 + r.Intn(maxOps/2+1)
+	for i := 0; i < n; i++ {
+		op := Op{LPN: r.Int63n(lpnRange), Tag: byte(r.Intn(256))}
+		switch d := r.Intn(100); {
+		case d < 45:
+			op.Kind = OpWrite
+		case d < 90:
+			op.Kind = OpRead
+		default:
+			op.Kind = OpFlush
+		}
+		p.Ops = append(p.Ops, op)
+	}
+	if withFaults {
+		arms := 1 + r.Intn(3)
+		for i := 0; i < arms; i++ {
+			p.Faults = append(p.Faults, faultMenu[r.Intn(len(faultMenu))](r))
+		}
+	}
+	return p
+}
+
+// Arm installs the plan's fault schedule on a registry.
+func (p Plan) Arm(reg *fault.Registry) {
+	for _, f := range p.Faults {
+		var rule *fault.Rule
+		switch {
+		case f.Prob > 0:
+			rule = reg.Prob(f.Site, f.Prob)
+		default:
+			rule = reg.OnOccurrence(f.Site, f.OnNth)
+		}
+		if f.Times > 0 {
+			rule.Times(f.Times)
+		}
+		if f.Param != 0 {
+			rule.Param(f.Param)
+		}
+	}
+}
+
+// String summarizes the plan for reproducer output.
+func (p Plan) String() string {
+	return fmt.Sprintf("seed=%#x ops=%d tREFI=%v tRFC=%v faults=%v",
+		p.Seed, len(p.Ops), p.TREFI, p.TRFC, p.Faults)
+}
+
+// ShrinkOps finds the smallest op-prefix length m in [1, total] for which
+// fails(m) still reproduces the failure, assuming prefix monotonicity: the
+// run is deterministic in (seed, m) and a violation recorded by a shorter
+// prefix is recorded by every longer one. fails(total) must be true (the
+// caller just observed it); ShrinkOps needs O(log total) re-runs.
+func ShrinkOps(total int, fails func(m int) bool) int {
+	lo, hi := 1, total // invariant: fails(hi) true; fails(lo-1) unknown/false
+	for lo < hi {
+		mid := lo + (hi-lo)/2
+		if fails(mid) {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return hi
+}

@@ -13,6 +13,7 @@ import (
 	"fmt"
 
 	"nvdimmc/internal/bus"
+	"nvdimmc/internal/conform"
 	"nvdimmc/internal/cpucache"
 	"nvdimmc/internal/ddr4"
 	"nvdimmc/internal/dram"
@@ -71,6 +72,14 @@ type Config struct {
 	// logic-analyzer stand-in) to the channel and the NVMC.
 	TraceCapacity int
 
+	// Audit, when true (the default from DefaultConfig), attaches the
+	// internal/conform protocol auditor to the trace event stream: every
+	// bus command, refresh hold, window, data burst and CP exchange is
+	// checked against the paper's invariants as it happens, and
+	// CheckHealth fails on any violation. Costs one event struct per bus
+	// action; disable only for raw-throughput measurements.
+	Audit bool
+
 	// StrictADR makes the power-fail sequence drain the WPQ into the DRAM
 	// cache BEFORE the firmware flush reads it — the ADR-detection future
 	// work of §V-C. The default (false) is PoC-faithful: the two run in
@@ -115,6 +124,7 @@ func DefaultConfig() Config {
 		NVMC:             nvmc.DefaultConfig(),
 		CPUCacheBytes:    0,
 		MechanismEnabled: true,
+		Audit:            true,
 		IMC:              imcCfg,
 	}
 }
@@ -135,6 +145,12 @@ type System struct {
 	Layout   hostmem.Layout
 	// Trace is non-nil when Config.TraceCapacity > 0.
 	Trace *trace.Log
+	// Auditor is non-nil when Config.Audit is set: the always-on protocol
+	// invariant checker fed by the trace event stream.
+	Auditor *conform.Auditor
+	// rec fans trace events out to the ring log, the auditor and any
+	// sinks attached via AttachSink.
+	rec *trace.Recorder
 	// Faults is non-nil when Config.FaultSeed != 0: the seeded registry all
 	// device models consult for injected failures.
 	Faults *fault.Registry
@@ -251,10 +267,29 @@ func NewSystem(cfg Config) (*System, error) {
 		det.SetFaults(g)
 		s.Faults = g
 	}
+	// One recorder feeds every observer of channel/NVMC/detector activity.
+	rec := &trace.Recorder{}
+	s.rec = rec
 	if cfg.TraceCapacity > 0 {
 		s.Trace = trace.New(cfg.TraceCapacity)
-		ch.Trace = s.Trace
-		nc.Trace = s.Trace
+		rec.Attach(s.Trace)
+	}
+	if cfg.Audit {
+		s.Auditor = conform.New(conform.Params{
+			TCK:               timing.TCK,
+			TREFI:             cfg.TREFI,
+			TRFC:              cfg.TRFC,
+			StandardTRFC:      dcfg.StandardTRFC,
+			WindowGuard:       cfg.NVMC.WindowGuard,
+			MaxBytesPerWindow: cfg.NVMC.MaxBytesPerWindow,
+			Banks:             banks,
+		})
+		rec.Attach(s.Auditor)
+	}
+	if rec.Active() {
+		ch.Trace = rec
+		nc.Trace = rec
+		det.Trace = rec
 	}
 	// Boot: let the metadata-initialization write drain before refresh
 	// begins (the refresh engine reschedules forever, so a full Run would
@@ -262,6 +297,16 @@ func NewSystem(cfg Config) (*System, error) {
 	k.Run()
 	mc.StartRefresh()
 	return s, nil
+}
+
+// AttachSink subscribes an additional observer to the trace event stream
+// (tests pin golden traces this way). Must be called before the activity of
+// interest; events are not replayed.
+func (s *System) AttachSink(sink trace.Sink) {
+	s.rec.Attach(sink)
+	s.Channel.Trace = s.rec
+	s.NVMC.Trace = s.rec
+	s.Detector.Trace = s.rec
 }
 
 // Run drains all pending events (the refresh engine keeps scheduling, so
@@ -305,13 +350,21 @@ func (s *System) CheckHealth() error {
 	if err := s.FTL.CheckInvariants(); err != nil {
 		return fmt.Errorf("core: %w", err)
 	}
+	// Protocol audit: violations are never acceptable, faults or not — the
+	// injected fault set is recoverable by design, so a protocol breach
+	// under injection is still a bug in the mechanism.
+	if s.Auditor != nil {
+		if err := s.Auditor.Err(); err != nil {
+			return fmt.Errorf("core: %w", err)
+		}
+	}
 	// Fault accounting: without any injected fault the error paths must be
 	// silent and the driver healthy; with faults fired, the degradation
 	// state must be backed by matching counters.
 	ctr := s.Driver.Counters()
 	ds := s.Driver.Stats()
 	if s.Faults == nil || s.Faults.TotalFired() == 0 {
-		if name, v, bad := ctr.NonZero(); bad {
+		if name, v, bad := ctr.NonZero(nvdc.ErrorCounterNames()...); bad {
 			return fmt.Errorf("core: error counter %q = %d with no injected faults", name, v)
 		}
 		if ds.Mode != nvdc.ModeHealthy {

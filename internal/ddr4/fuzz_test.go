@@ -1,0 +1,40 @@
+package ddr4
+
+import "testing"
+
+// FuzzCAPinRoundTrip drives the CA-pin truth table with arbitrary 6-bit pin
+// states — the detector's actual input space, since the FPGA samples
+// whatever is electrically on the bus (§IV-A) — and checks the reference
+// decoder's closure properties:
+//
+//   - decode is total (any state maps to some command, never panics)
+//   - decode is stable under canonical re-encode: Encode(Decode(s)) must
+//     decode back to the same command
+//   - IsRefresh (the RTL predicate) agrees exactly with the full decoder,
+//     including not matching SRE (CKE low) and SRX (CS_n high)
+func FuzzCAPinRoundTrip(f *testing.F) {
+	for seed := 0; seed < 64; seed += 7 {
+		f.Add(byte(seed))
+	}
+	f.Add(byte(0b101001)) // the REF pattern: CKE+ACTn+WEn high
+	f.Fuzz(func(t *testing.T, b byte) {
+		s := CAState{
+			CKE:  b&1 != 0,
+			CSn:  b&2 != 0,
+			ACTn: b&4 != 0,
+			RASn: b&8 != 0,
+			CASn: b&16 != 0,
+			WEn:  b&32 != 0,
+		}
+		kind := Decode(s)
+		if kind == CmdPrechargeAll {
+			t.Fatalf("decoder returned PREA for %+v: the pins cannot distinguish PRE/PREA", s)
+		}
+		if again := Decode(Encode(kind)); again != kind {
+			t.Fatalf("decode not stable: %+v -> %v, re-encoded decodes as %v", s, kind, again)
+		}
+		if got, want := IsRefresh(s), kind == CmdRefresh; got != want {
+			t.Fatalf("IsRefresh(%+v) = %v but Decode = %v", s, got, kind)
+		}
+	})
+}

@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"nvdimmc/internal/conform"
+	"nvdimmc/internal/core"
+	"nvdimmc/internal/sim"
+)
+
+// TestConformanceQuickClean runs the quick fuzz sweep end-to-end: every
+// seeded plan, faulted or not, must replay with zero protocol violations.
+func TestConformanceQuickClean(t *testing.T) {
+	var buf bytes.Buffer
+	res, err := Conformance(Options{Quick: true, Out: &buf, Parallel: 4})
+	if err != nil {
+		t.Fatalf("conformance: %v\n%s", err, buf.String())
+	}
+	if len(res.Failures) != 0 {
+		t.Fatalf("protocol violations on a stock build:\n%s", strings.Join(res.Failures, "\n"))
+	}
+	if res.Faulted == 0 {
+		t.Fatal("no fault-armed iterations ran")
+	}
+	if res.Events == 0 {
+		t.Fatal("auditor saw no events")
+	}
+	if res.OpsRun == 0 {
+		t.Fatal("no ops executed")
+	}
+	if !strings.Contains(buf.String(), "protocol violations") {
+		t.Fatalf("summary missing:\n%s", buf.String())
+	}
+}
+
+// TestConformanceDeterministic re-runs one faulted plan and requires the
+// audited event count to be identical — the property the shrinker's
+// prefix-monotone bisection rests on.
+func TestConformanceDeterministic(t *testing.T) {
+	plan := conform.NewPlan(sim.SplitSeed(DefaultConformanceSeed, "iter-001"), 60, conformLPNRange, true)
+	ev1, vio1, err1 := conformancePoint(plan, len(plan.Ops), nil)
+	ev2, vio2, err2 := conformancePoint(plan, len(plan.Ops), nil)
+	if err1 != nil || err2 != nil {
+		t.Fatalf("point errors: %v / %v", err1, err2)
+	}
+	if ev1 != ev2 || vio1 != vio2 {
+		t.Fatalf("nondeterministic replay: events %d/%d, violation %q/%q", ev1, ev2, vio1, vio2)
+	}
+}
+
+// TestConformanceCatchesBrokenBuild sabotages the booted system with a rogue
+// NVMC data-bus access outside any tRFC window — the bus-sharing violation
+// the paper's design exists to prevent (§III-B) — and requires the auditor
+// to flag it and the shrinker to bisect to a minimal reproducer.
+func TestConformanceCatchesBrokenBuild(t *testing.T) {
+	plan := conform.NewPlan(sim.SplitSeed(DefaultConformanceSeed, "sabotage"), 40, conformLPNRange, false)
+	rogue := func(s *core.System) {
+		// Just after boot, long before the first window opens mid-tREFI.
+		s.K.Schedule(100*sim.Nanosecond, func() {
+			buf := make([]byte, 64)
+			_ = s.Channel.NVMCAccess(0, buf, true)
+		})
+	}
+	_, vio, err := conformancePoint(plan, len(plan.Ops), rogue)
+	if err != nil {
+		t.Fatalf("point error: %v", err)
+	}
+	if vio == "" {
+		t.Fatal("auditor missed a rogue NVMC access outside the window")
+	}
+	min := conform.ShrinkOps(len(plan.Ops), func(m int) bool {
+		_, v, perr := conformancePoint(plan, m, rogue)
+		return perr == nil && v != ""
+	})
+	if min != 1 {
+		t.Fatalf("shrink of an op-independent violation should reach 1 op, got %d", min)
+	}
+	if _, v, perr := conformancePoint(plan, min, rogue); perr != nil || v == "" {
+		t.Fatalf("minimal reproducer does not reproduce: vio=%q err=%v", v, perr)
+	}
+}
+
+// TestShrinkOps checks the bisection against a few threshold oracles.
+func TestShrinkOps(t *testing.T) {
+	for _, tc := range []struct{ total, threshold int }{
+		{1, 1}, {40, 1}, {40, 17}, {40, 40}, {129, 64},
+	} {
+		got := conform.ShrinkOps(tc.total, func(m int) bool { return m >= tc.threshold })
+		if got != tc.threshold {
+			t.Errorf("ShrinkOps(total=%d, threshold=%d) = %d", tc.total, tc.threshold, got)
+		}
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"nvdimmc/internal/bus"
 	"nvdimmc/internal/ddr4"
 	"nvdimmc/internal/sim"
+	"nvdimmc/internal/trace"
 )
 
 // Config parameterizes the controller.
@@ -135,6 +136,12 @@ func (c *Controller) scheduleRefresh() {
 			}
 			if start.Sub(due) > c.cfg.TREFI {
 				c.postponed++
+			}
+			if c.ch.Trace.Active() {
+				c.ch.Trace.Record(trace.Event{
+					At: start, Kind: trace.KindRefreshHold,
+					End: start.Add(c.cfg.TRFC),
+				})
 			}
 			// DDR4 has no per-bank refresh: precharge all banks first
 			// (§III-B), then issue REF.

@@ -99,6 +99,18 @@ const (
 	CtrFaultFailed     = "fault.failed"
 )
 
+// ErrorCounterNames lists the counters that may only move on a fault path.
+// CtrWriteThrough is deliberately absent: it also counts legitimate msync
+// write-throughs, so a healthy no-fault run can have it nonzero.
+func ErrorCounterNames() []string {
+	return []string{
+		CtrAckTimeout, CtrAckChecksumBad, CtrCPReissue,
+		CtrCachefillRetry, CtrCachefillFail, CtrWritebackFail,
+		CtrSlotQuarantined, CtrModeDegraded, CtrModeReadOnly,
+		CtrFaultFailed,
+	}
+}
+
 // Config parameterizes the driver.
 type Config struct {
 	Layout hostmem.Layout

@@ -133,6 +133,7 @@ type Controller struct {
 	cfg    Config
 
 	windowStart, windowEnd sim.Time
+	windowRefAt            sim.Time // bus time of the REF that opened the window
 
 	fsms []*cmdFSM
 	rr   int
@@ -154,8 +155,8 @@ type Controller struct {
 	// command with a toggled phase bit is seen as new and re-executed.
 	faults *fault.Registry
 
-	// Trace, when set, records window and CP activity.
-	Trace *trace.Log
+	// Trace, when attached to sinks, publishes window and CP activity.
+	Trace *trace.Recorder
 }
 
 // New wires a controller to the channel, detector and FTL. The detector's
@@ -213,6 +214,7 @@ func (c *Controller) onRefresh(refAt sim.Time) {
 		return // no extra window programmed: mechanism cannot run
 	}
 	c.windowStart, c.windowEnd = start, end
+	c.windowRefAt = refAt
 	if start <= c.k.Now() {
 		c.runWindow()
 		return
@@ -228,8 +230,11 @@ func (c *Controller) runWindow() {
 		return // stale schedule (e.g. disabled in between)
 	}
 	c.stats.WindowsSeen++
-	if c.Trace != nil {
-		c.Trace.Addf(now, trace.KindWindow, "open until %v", c.windowEnd)
+	if c.Trace.Active() {
+		c.Trace.Record(trace.Event{
+			At: now, Kind: trace.KindWindow,
+			End: c.windowEnd, RefAt: c.windowRefAt,
+		})
 	}
 	worked := false
 	budget := c.cfg.MaxBytesPerWindow
@@ -286,8 +291,11 @@ func (c *Controller) pollSlot(f *cmdFSM) {
 	if cmd.Phase == f.lastPhase || cmd.Opcode == cp.OpNone {
 		return // stale or empty slot
 	}
-	if c.Trace != nil {
-		c.Trace.Addf(c.k.Now(), trace.KindCPCommand, "slot %d: %v", f.idx, cmd)
+	if c.Trace.Active() {
+		c.Trace.Record(trace.Event{
+			At: c.k.Now(), Kind: trace.KindCPCommand,
+			Slot: f.idx, Word: w, Word2: sec,
+		})
 	}
 	// New command: the firmware decodes it after the window, on its core.
 	f.state = engDecoding
@@ -516,8 +524,12 @@ func (c *Controller) postAck(f *cmdFSM) {
 			panic(fmt.Sprintf("nvmc: ack write: %v", err))
 		}
 	}
-	if c.Trace != nil {
-		c.Trace.Addf(c.k.Now(), trace.KindCPAck, "slot %d: %v %v (%d windows)", f.idx, f.cur.Opcode, ack.Status, f.windowsUsed)
+	if c.Trace.Active() {
+		c.Trace.Record(trace.Event{
+			At: c.k.Now(), Kind: trace.KindCPAck,
+			Slot: f.idx, Word: w, Word2: uint64(f.cur.Opcode),
+			Windows: f.windowsUsed, Dropped: dropped,
+		})
 	}
 	c.stats.AcksPosted++
 	c.stats.cmdWindowsTotal += uint64(f.windowsUsed)

@@ -17,6 +17,7 @@ import (
 	"nvdimmc/internal/ddr4"
 	"nvdimmc/internal/fault"
 	"nvdimmc/internal/sim"
+	"nvdimmc/internal/trace"
 )
 
 // FrameBits is the deserializer width: each CA pin is captured eight times
@@ -87,6 +88,13 @@ type Detector struct {
 	// faults, when non-nil, additionally injects per-pin sample flips via
 	// fault.RefdetSampleFlip — the registry-native home of the BER knob.
 	faults *fault.Registry
+
+	// Trace, when attached to sinks, publishes one KindRefDetect event per
+	// resolved detection, carrying the claimed bus time of the REF. The
+	// protocol auditor cross-checks that claim against the commands that
+	// were actually on the bus: a false positive shows up as a detect
+	// event whose RefAt matches no REF.
+	Trace *trace.Recorder
 
 	des   [NumPins]Deserializer
 	stats Stats
@@ -180,10 +188,17 @@ func (d *Detector) SampleCommand(at sim.Time, s ddr4.CAState) {
 	// Position of this sample within its deserializer frame.
 	pos := int((int64(at) / int64(d.tck)) % FrameBits)
 	latency := sim.Duration(FrameBits-pos)*d.tck + d.pipeline
-	if d.OnRefresh != nil {
-		refAt := at
-		d.k.Schedule(latency, func() { d.OnRefresh(refAt) })
-	}
+	refAt := at
+	d.k.Schedule(latency, func() {
+		if d.Trace.Active() {
+			d.Trace.Record(trace.Event{
+				At: d.k.Now(), Kind: trace.KindRefDetect, RefAt: refAt,
+			})
+		}
+		if d.OnRefresh != nil {
+			d.OnRefresh(refAt)
+		}
+	})
 }
 
 // PushSample drives the RTL-level path directly: one sampled level per pin,

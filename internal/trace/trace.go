@@ -1,14 +1,20 @@
-// Package trace is the bring-up observability facility: a bounded ring of
-// timestamped events from the channel, the NVMC and the driver — the
-// software equivalent of the logic analyzer hanging off the PoC board. It
-// exists to answer "what was on the bus around the failure?" questions the
-// way the authors debugged the real device.
+// Package trace is the bring-up observability facility: structured,
+// timestamped events from the channel, the iMC, the NVMC, the refresh
+// detector and the driver — the software equivalent of the logic analyzer
+// hanging off the PoC board. Producers publish through a Recorder, which
+// fans every event out to pluggable Sinks: the bounded ring Log below (the
+// "what was on the bus around the failure?" view) and, in a full system,
+// the internal/conform protocol auditor. Events carry typed payloads and
+// format themselves lazily, so an always-on auditing sink costs no
+// Sprintf per event.
 package trace
 
 import (
 	"fmt"
 	"io"
 
+	"nvdimmc/internal/cp"
+	"nvdimmc/internal/ddr4"
 	"nvdimmc/internal/sim"
 )
 
@@ -17,29 +23,35 @@ type Kind int
 
 // Event kinds.
 const (
-	KindCommand   Kind = iota // DDR4 command on the CA bus
-	KindRefresh               // REF specifically (also counted as Command)
-	KindWindow                // extra-tRFC window opened
-	KindNVMCData              // NVMC moved data in a window
-	KindCPCommand             // driver posted a CP command
-	KindCPAck                 // device posted an ack
-	KindFault                 // driver fault path entered
-	KindEviction              // driver evicted a slot
-	KindCollision             // bus collision (fatal on real hardware)
+	KindCommand     Kind = iota // DDR4 command on the CA bus
+	KindRefresh                 // REF specifically (also counted as Command)
+	KindRefreshHold             // iMC holds the data bus for one tRFC to refresh
+	KindRefDetect               // refresh detector resolved a REF off the CA pins
+	KindWindow                  // extra-tRFC window opened
+	KindNVMCData                // NVMC moved data in a window
+	KindHostData                // host burst occupied the data bus
+	KindCPCommand               // NVMC accepted a CP command
+	KindCPAck                   // device posted an ack
+	KindFault                   // driver fault path entered
+	KindEviction                // driver evicted a slot
+	KindCollision               // bus collision (fatal on real hardware)
 	KindOther
 )
 
 var kindNames = map[Kind]string{
-	KindCommand:   "cmd",
-	KindRefresh:   "REF",
-	KindWindow:    "window",
-	KindNVMCData:  "nvmc-data",
-	KindCPCommand: "cp-cmd",
-	KindCPAck:     "cp-ack",
-	KindFault:     "fault",
-	KindEviction:  "evict",
-	KindCollision: "COLLISION",
-	KindOther:     "other",
+	KindCommand:     "cmd",
+	KindRefresh:     "REF",
+	KindRefreshHold: "ref-hold",
+	KindRefDetect:   "ref-det",
+	KindWindow:      "window",
+	KindNVMCData:    "nvmc-data",
+	KindHostData:    "host-data",
+	KindCPCommand:   "cp-cmd",
+	KindCPAck:       "cp-ack",
+	KindFault:       "fault",
+	KindEviction:    "evict",
+	KindCollision:   "COLLISION",
+	KindOther:       "other",
 }
 
 func (k Kind) String() string {
@@ -49,19 +61,131 @@ func (k Kind) String() string {
 	return fmt.Sprintf("Kind(%d)", int(k))
 }
 
-// Event is one trace record.
+// Bus masters, mirroring bus.Master (which cannot be imported here without
+// a cycle: the bus publishes trace events).
+const (
+	MasterHost = 0 // the host iMC
+	MasterNVMC = 1 // the module's FPGA controller
+)
+
+func masterName(m int) string {
+	if m == MasterNVMC {
+		return "NVMC"
+	}
+	return "iMC"
+}
+
+// Event is one trace record. At and Kind are always set; the payload
+// fields are per-kind:
+//
+//	KindCommand/KindRefresh: Master, Cmd
+//	KindRefreshHold:         End (bus held [At, End))
+//	KindRefDetect:           RefAt (bus time of the detected REF)
+//	KindWindow:              End (window is [At, End)), RefAt
+//	KindNVMCData:            Read, Addr, Bytes
+//	KindHostData:            Read, Addr, Bytes, End (bus held [At, End))
+//	KindCPCommand:           Slot, Word (primary), Word2 (secondary)
+//	KindCPAck:               Slot, Word (ack word), Word2 (opcode),
+//	                         Windows, Dropped (fault ate the ack write)
+//	KindFault/KindEviction/KindCollision/KindOther: Detail
 type Event struct {
-	At     sim.Time
-	Kind   Kind
-	Detail string
+	At      sim.Time
+	Kind    Kind
+	Master  int
+	Cmd     ddr4.Command
+	Read    bool
+	Addr    int64
+	Bytes   int
+	End     sim.Time
+	RefAt   sim.Time
+	Slot    int
+	Word    uint64
+	Word2   uint64
+	Windows int
+	Dropped bool
+	Detail  string
+}
+
+// Describe renders the payload (everything after the timestamp and kind).
+// Free-form events (Add/Addf) carry their text in Detail; structured events
+// render from their typed fields.
+func (e Event) Describe() string {
+	if e.Detail != "" {
+		return e.Detail
+	}
+	switch e.Kind {
+	case KindCommand, KindRefresh:
+		return fmt.Sprintf("%s: %v", masterName(e.Master), e.Cmd)
+	case KindRefreshHold:
+		return fmt.Sprintf("bus held until %v", e.End)
+	case KindRefDetect:
+		return fmt.Sprintf("REF@%v detected", e.RefAt)
+	case KindWindow:
+		return fmt.Sprintf("open until %v (ref %v)", e.End, e.RefAt)
+	case KindNVMCData, KindHostData:
+		dir := "write"
+		if e.Read {
+			dir = "read"
+		}
+		if e.Kind == KindHostData {
+			return fmt.Sprintf("%s %dB @%#x until %v", dir, e.Bytes, e.Addr, e.End)
+		}
+		return fmt.Sprintf("%s %dB @%#x", dir, e.Bytes, e.Addr)
+	case KindCPCommand:
+		return fmt.Sprintf("slot %d: %v", e.Slot, cp.Decode(e.Word, e.Word2))
+	case KindCPAck:
+		ack := cp.DecodeAck(e.Word)
+		drop := ""
+		if e.Dropped {
+			drop = " DROPPED"
+		}
+		return fmt.Sprintf("slot %d: %v %v (%d windows)%s",
+			e.Slot, cp.Opcode(e.Word2), ack.Status, e.Windows, drop)
+	default:
+		return e.Detail
+	}
 }
 
 func (e Event) String() string {
-	return fmt.Sprintf("%-12v %-10s %s", e.At, e.Kind, e.Detail)
+	return fmt.Sprintf("%-12v %-10s %s", e.At, e.Kind, e.Describe())
 }
 
-// Log is a bounded ring of events with per-kind counters. The zero value is
-// disabled; create with New.
+// Sink consumes every published event. Implementations must not retain e's
+// address; the value is theirs to copy.
+type Sink interface {
+	Record(e Event)
+}
+
+// Recorder fans events out to attached sinks. The zero value and nil are
+// both valid (inactive) recorders, so producers can publish uncondition-
+// ally; guard event construction with Active to skip the work entirely
+// when nobody listens.
+type Recorder struct {
+	sinks []Sink
+}
+
+// Attach subscribes a sink to all future events.
+func (r *Recorder) Attach(s Sink) {
+	if s != nil {
+		r.sinks = append(r.sinks, s)
+	}
+}
+
+// Active reports whether any sink is attached (nil-safe).
+func (r *Recorder) Active() bool { return r != nil && len(r.sinks) > 0 }
+
+// Record publishes one event to every sink (nil-safe).
+func (r *Recorder) Record(e Event) {
+	if r == nil {
+		return
+	}
+	for _, s := range r.sinks {
+		s.Record(e)
+	}
+}
+
+// Log is a bounded ring of events with per-kind counters, attachable to a
+// Recorder as a Sink. The zero value is disabled; create with New.
 type Log struct {
 	ring     []Event
 	next     int
@@ -82,14 +206,14 @@ func New(capacity int) *Log {
 // SetEnabled toggles recording (counters freeze too when disabled).
 func (l *Log) SetEnabled(v bool) { l.disabled = !v }
 
-// Add records an event.
-func (l *Log) Add(at sim.Time, kind Kind, detail string) {
+// Record implements Sink.
+func (l *Log) Record(e Event) {
 	if l == nil || l.disabled {
 		return
 	}
-	l.counts[kind]++
+	l.counts[e.Kind]++
 	l.total++
-	l.ring[l.next] = Event{At: at, Kind: kind, Detail: detail}
+	l.ring[l.next] = e
 	l.next++
 	if l.next == len(l.ring) {
 		l.next = 0
@@ -97,7 +221,15 @@ func (l *Log) Add(at sim.Time, kind Kind, detail string) {
 	}
 }
 
-// Addf records a formatted event.
+// Add records a free-form event.
+func (l *Log) Add(at sim.Time, kind Kind, detail string) {
+	if l == nil || l.disabled {
+		return
+	}
+	l.Record(Event{At: at, Kind: kind, Detail: detail})
+}
+
+// Addf records a formatted free-form event.
 func (l *Log) Addf(at sim.Time, kind Kind, format string, args ...interface{}) {
 	if l == nil || l.disabled {
 		return

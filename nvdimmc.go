@@ -216,6 +216,20 @@ func Experiments(opts ExperimentOptions) map[string]func() error {
 			}
 			return err
 		},
+		"conformance": func() error {
+			res, err := experiments.Conformance(opts)
+			if err == nil {
+				hl("iterations", float64(res.Iterations))
+				hl("ops", float64(res.OpsRun))
+				hl("events-audited", float64(res.Events))
+				hl("violations", float64(len(res.Failures)))
+			}
+			if err == nil && len(res.Failures) > 0 {
+				err = fmt.Errorf("conformance: %d protocol violation(s) (seed %#x); first: %s",
+					len(res.Failures), res.Seed, res.Failures[0])
+			}
+			return err
+		},
 	}
 }
 
@@ -224,7 +238,7 @@ func ExperimentNames() []string {
 	return []string{
 		"table1", "table2", "frontend", "aging", "fig7", "fig8", "fig9",
 		"fig10", "fig11", "mixed", "lru", "fig12", "fig13", "windows",
-		"ablations", "endurance", "crash",
+		"ablations", "endurance", "crash", "conformance",
 	}
 }
 
