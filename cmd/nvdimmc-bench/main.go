@@ -16,13 +16,15 @@
 // trajectory is trackable across commits.
 //
 // Available experiments: table1 table2 frontend aging fig7 fig8 fig9 fig10
-// fig11 mixed lru fig12 fig13 windows ablations endurance crash conformance.
+// fig11 mixed lru fig12 fig13 windows ablations endurance crash conformance
+// pool. -list prints each with a one-line description.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"strings"
@@ -43,6 +45,13 @@ type benchRecord struct {
 	Metrics    map[string]float64 `json:"metrics,omitempty"`
 }
 
+// printList writes every experiment with its one-line description.
+func printList(w io.Writer) {
+	for _, e := range nvdimmc.ExperimentList() {
+		fmt.Fprintf(w, "  %-12s %s\n", e.Name, e.Desc)
+	}
+}
+
 func main() {
 	quick := flag.Bool("quick", false, "smaller runs (CI scale)")
 	list := flag.Bool("list", false, "list experiments and exit")
@@ -58,7 +67,7 @@ func main() {
 	flag.Parse()
 
 	if *list {
-		fmt.Println(strings.Join(nvdimmc.ExperimentNames(), "\n"))
+		printList(os.Stdout)
 		return
 	}
 
@@ -88,7 +97,8 @@ func main() {
 	}
 	for _, name := range names {
 		if _, ok := harnesses[name]; !ok {
-			fmt.Fprintf(os.Stderr, "nvdimmc-bench: unknown experiment %q (try -list)\n", name)
+			fmt.Fprintf(os.Stderr, "nvdimmc-bench: unknown experiment %q; available:\n", name)
+			printList(os.Stderr)
 			os.Exit(2)
 		}
 	}

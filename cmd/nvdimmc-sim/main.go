@@ -5,16 +5,25 @@
 // Usage:
 //
 //	nvdimmc-sim -target nvdc -rw randread -bs 4096 -numjobs 1 -ops 1000 [-uncached]
+//	nvdimmc-sim -channels 6 -dimms 2 -interleave 4096 -rate 2e6 -rw randread -ops 3000
+//
+// Passing -channels or -dimms above 1 switches to the pooled socket: N
+// independent NVDIMM-C modules behind an interleaved decoder and an
+// open-loop front-end scheduler (see internal/pool). -rate sets the
+// open-loop arrival rate in ops per simulated second (0 = saturating).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"nvdimmc"
 	"nvdimmc/internal/core"
+	"nvdimmc/internal/pool"
 	"nvdimmc/internal/workload/fio"
+	"nvdimmc/internal/workload/openloop"
 )
 
 func main() {
@@ -26,7 +35,16 @@ func main() {
 	uncached := flag.Bool("uncached", false, "nvdc: force misses (footprint >> cache, media prefilled)")
 	policy := flag.String("policy", "lrc", "nvdc slot replacement: lrc | lru | clock")
 	audit := flag.Bool("audit", true, "nvdc: run the protocol-invariant auditor on the trace stream")
+	channels := flag.Int("channels", 1, "pooled socket: memory channel count (>1 enables the interleaved pool)")
+	dimms := flag.Int("dimms", 1, "pooled socket: DIMMs per channel")
+	interleave := flag.Int64("interleave", 4096, "pooled socket: interleave granularity in bytes (e.g. 4096, 2097152)")
+	rate := flag.Float64("rate", 0, "pooled socket: open-loop arrival rate in ops per simulated second (0 = saturating)")
 	flag.Parse()
+
+	if *channels > 1 || *dimms > 1 {
+		runPool(*channels, *dimms, *interleave, *rate, *rw, *bs, *ops)
+		return
+	}
 
 	var pat fio.Pattern
 	switch *rw {
@@ -107,6 +125,55 @@ func main() {
 		}
 		die(sys.CheckHealth())
 	}
+}
+
+// runPool drives the interleaved multi-channel pool with a single-tenant
+// open-loop stream and prints the pooled and per-channel stats.
+func runPool(channels, dimms int, interleave int64, rate float64, rw string, bs, ops int) {
+	readPct := 0 // openloop default: read-only
+	switch rw {
+	case "randread":
+	case "randwrite":
+		readPct = -1
+	default:
+		fmt.Fprintf(os.Stderr, "nvdimmc-sim: pooled mode supports -rw randread|randwrite, not %q\n", rw)
+		os.Exit(2)
+	}
+	p, err := pool.New(pool.Config{
+		Channels:        channels,
+		DIMMsPerChannel: dimms,
+		Interleave:      interleave,
+		Member:          nvdimmc.DefaultConfig(),
+		Workers:         runtime.GOMAXPROCS(0),
+		Seed:            7,
+		PrefillPages:    -1,
+		WalkFootprint:   15 << 30,
+	})
+	die(err)
+	gen, err := openloop.New(openloop.Config{
+		Seed:       7,
+		RatePerSec: rate,
+		Tenants: []openloop.Tenant{
+			{Name: "cli", Dist: openloop.Uniform, ReadPct: readPct,
+				BlockSize: bs, Footprint: p.CachedFootprint()},
+		},
+	})
+	die(err)
+	die(p.RunOpenLoop(gen, ops))
+	s := p.Stats()
+	fmt.Printf("pool: %d channels x %d DIMMs, interleave %d B, capacity %d MB\n",
+		channels, dimms, interleave, p.Capacity()>>20)
+	fmt.Printf("requests=%d bw=%.0f MB/s epochs=%d held-peak=%d\n",
+		s.Completed, s.Meter.BandwidthMBps(), s.Epochs, s.HeldPeak)
+	fmt.Printf("latency: p50=%v p95=%v p99=%v p999=%v max=%v\n",
+		s.Lat.Percentile(50), s.Lat.Percentile(95),
+		s.Lat.Percentile(99), s.Lat.Percentile(99.9), s.Lat.Max())
+	for i, ch := range s.PerChannel {
+		fmt.Printf("ch%d: reqs=%d bytes=%d p99=%v\n",
+			i, ch.Lat.Count(), ch.Meter.Bytes(), ch.Lat.Percentile(99))
+	}
+	die(p.CheckHealth())
+	fmt.Println("health ok")
 }
 
 // prefill writes every logical NAND page (zero data, deduplicated by the

@@ -1,0 +1,142 @@
+package experiments
+
+import (
+	"fmt"
+
+	"nvdimmc/internal/core"
+	"nvdimmc/internal/pool"
+	"nvdimmc/internal/report"
+	"nvdimmc/internal/sim"
+	"nvdimmc/internal/workload/openloop"
+)
+
+// PoolPoint is one (channels, interleave) cell of the socket-scaling table.
+type PoolPoint struct {
+	Channels     int
+	InterleaveKB int
+	MBps         float64
+	P50          sim.Duration
+	P99          sim.Duration
+	P999         sim.Duration
+	HeldPeak     int
+}
+
+// PoolResult is the channel-scaling table (the paper's §VIII deployment
+// projected from its §VI single-module measurements).
+type PoolResult struct {
+	Rows []PoolPoint
+}
+
+// At returns the cell for a channel count and interleave granularity (KB).
+func (r PoolResult) At(channels, interleaveKB int) PoolPoint {
+	for _, p := range r.Rows {
+		if p.Channels == channels && p.InterleaveKB == interleaveKB {
+			return p
+		}
+	}
+	return PoolPoint{}
+}
+
+// ScalingX returns the 1->6 channel read-bandwidth scaling factor at 4 KB
+// interleave.
+func (r PoolResult) ScalingX() float64 {
+	one := r.At(1, 4).MBps
+	if one == 0 {
+		return 0
+	}
+	return r.At(6, 4).MBps / one
+}
+
+// poolMemberCfg returns the per-(channel,DIMM) member configuration: the
+// standard scaled module at full scale, a further-shrunken one (4 MB cache,
+// still big enough to hold whole 2 MB stripes) for -quick.
+func poolMemberCfg(o Options) core.Config {
+	cfg := core.DefaultConfig()
+	if o.Quick {
+		cfg.CacheBytes = 4 << 20
+		cfg.NAND.BlocksPerDie = 32
+	}
+	return cfg
+}
+
+// Pool sweeps the pooled socket: 1/2/4/6 channels x {4 KB, 2 MB} interleave
+// under a saturating two-tenant open-loop load (a zipfian read-mostly
+// key-value tenant over the low half, a uniform mixed tenant over the high
+// half). Cells run in sequence; inside each cell the pool's epoch-lockstep
+// engine fans the members across o.Parallel workers with byte-identical
+// output, so this experiment is the end-to-end exercise of that guarantee.
+func Pool(o Options) (PoolResult, error) {
+	var res PoolResult
+	channelCounts := []int{1, 2, 4, 6}
+	grans := []int64{4096, 2 << 20}
+	perChannel := o.pick(600, 150)
+
+	for _, gran := range grans {
+		for _, channels := range channelCounts {
+			p, err := pool.New(pool.Config{
+				Channels:        channels,
+				DIMMsPerChannel: 1,
+				Interleave:      gran,
+				Member:          poolMemberCfg(o),
+				Workers:         o.workers(),
+				Seed:            7,
+				PrefillPages:    -1,
+				WalkFootprint:   15 << 30,
+			})
+			if err != nil {
+				return res, fmt.Errorf("pool %dch gran=%d: %w", channels, gran, err)
+			}
+			foot := p.CachedFootprint()
+			gen, err := openloop.New(openloop.Config{
+				Seed:       sim.SplitSeed(7, fmt.Sprintf("pool-exp/%d/%d", channels, gran)),
+				RatePerSec: 0, // saturating: measure delivered, not offered, bandwidth
+				Tenants: []openloop.Tenant{
+					{Name: "kv", Dist: openloop.Zipfian, Weight: 3, ReadPct: 90,
+						Footprint: foot / 2},
+					{Name: "mix", Dist: openloop.Uniform, Weight: 1, ReadPct: 50,
+						Footprint: foot - foot/2, Offset: foot / 2},
+				},
+			})
+			if err != nil {
+				return res, err
+			}
+			if err := p.RunOpenLoop(gen, perChannel*channels); err != nil {
+				return res, fmt.Errorf("pool %dch gran=%d: %w", channels, gran, err)
+			}
+			if err := p.CheckHealth(); err != nil {
+				return res, fmt.Errorf("pool %dch gran=%d: %w", channels, gran, err)
+			}
+			s := p.Stats()
+			res.Rows = append(res.Rows, PoolPoint{
+				Channels:     channels,
+				InterleaveKB: int(gran >> 10),
+				MBps:         s.Meter.BandwidthMBps(),
+				P50:          s.Lat.Percentile(50),
+				P99:          s.Lat.Percentile(99),
+				P999:         s.Lat.Percentile(99.9),
+				HeldPeak:     s.HeldPeak,
+			})
+		}
+	}
+
+	o.printf("== Pool: socket scaling, open-loop 2-tenant load (saturating) ==\n")
+	for _, gran := range grans {
+		kb := int(gran >> 10)
+		o.printf("  interleave %4d KB", kb)
+		var ys []float64
+		for _, channels := range channelCounts {
+			pt := res.At(channels, kb)
+			o.printf("  %dch:%6.0fMB/s", channels, pt.MBps)
+			ys = append(ys, pt.MBps)
+		}
+		o.printf("  %s\n", report.Sparkline(ys))
+		for _, channels := range channelCounts {
+			pt := res.At(channels, kb)
+			o.printf("    %dch  p50=%-10v p99=%-10v p999=%-10v held-peak=%d\n",
+				channels, pt.P50, pt.P99, pt.P999, pt.HeldPeak)
+		}
+	}
+	o.printf("  1->6ch scaling at 4 KB interleave: %.2fx (paper board: 6 channels/socket)\n",
+		res.ScalingX())
+	return res, nil
+}

@@ -1,0 +1,54 @@
+package experiments
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// TestPoolParallelIdentical: the pooled experiment must print byte-identical
+// output and return an identical result struct at any -parallel setting —
+// here the workers drive the pool's epoch-lockstep engine itself, not just
+// independent shards, so this is the end-to-end check of the pool's
+// determinism contract. Deliberately not skipped under -short: the -race
+// -short CI lane is where the lockstep barriers earn their keep.
+func TestPoolParallelIdentical(t *testing.T) {
+	run := func(parallel int) (PoolResult, string) {
+		var buf bytes.Buffer
+		res, err := Pool(Options{Quick: true, Out: &buf, Parallel: parallel})
+		if err != nil {
+			t.Fatalf("parallel=%d: %v", parallel, err)
+		}
+		return res, buf.String()
+	}
+	serialRes, serialOut := run(1)
+	for _, parallel := range []int{2, 8} {
+		res, out := run(parallel)
+		if out != serialOut {
+			t.Fatalf("parallel=%d output diverged:\n--- serial ---\n%s\n--- parallel ---\n%s",
+				parallel, serialOut, out)
+		}
+		if !reflect.DeepEqual(res, serialRes) {
+			t.Fatalf("parallel=%d results diverged: %+v vs %+v", parallel, res, serialRes)
+		}
+	}
+}
+
+// TestPoolScalingFloor pins the acceptance criterion on the experiment
+// itself: >= 3.5x read bandwidth from 1 to 6 channels at 4 KB interleave.
+func TestPoolScalingFloor(t *testing.T) {
+	res, err := Pool(Options{Quick: true, Parallel: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x := res.ScalingX(); x < 3.5 {
+		t.Fatalf("1->6 channel scaling %.2fx, want >= 3.5x (rows: %+v)", x, res.Rows)
+	}
+	// The coarse-interleave column exists to show the granularity cliff:
+	// 2 MB stripes must scale visibly worse than 4 KB under the same load.
+	fine := res.At(6, 4).MBps / res.At(1, 4).MBps
+	coarse := res.At(6, 2048).MBps / res.At(1, 2048).MBps
+	if coarse >= fine {
+		t.Fatalf("2 MB interleave scaled %.2fx >= 4 KB's %.2fx — granularity cliff missing", coarse, fine)
+	}
+}

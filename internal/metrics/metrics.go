@@ -127,6 +127,71 @@ func (h *Histogram) String() string {
 		h.count, h.Mean(), h.Percentile(50), h.Percentile(99), h.Max())
 }
 
+// Merge folds o's observations into h without re-recording samples: count,
+// sum and extremes combine exactly; the percentile reservoirs combine by
+// proportional subsampling. Each reservoir is already a uniform sample of its
+// stream, and any fixed-stride subset of a uniform sample is itself uniform,
+// so the merged reservoir holds round(R * seen_h/total) strided picks from h
+// and the rest from o — deterministic (no RNG draw), which the parallel pool
+// harness relies on for byte-identical output at any worker count. o is not
+// modified.
+func (h *Histogram) Merge(o *Histogram) {
+	if o == nil || o.count == 0 {
+		return
+	}
+	if h.count == 0 {
+		h.count, h.sum, h.min, h.max = o.count, o.sum, o.min, o.max
+		h.seen = o.seen
+		h.samples = append(h.samples[:0], o.samples...)
+		h.dirty = true
+		return
+	}
+	h.count += o.count
+	h.sum += o.sum
+	if o.min < h.min {
+		h.min = o.min
+	}
+	if o.max > h.max {
+		h.max = o.max
+	}
+	total := h.seen + o.seen
+	if len(h.samples)+len(o.samples) <= reservoirSize {
+		h.samples = append(h.samples, o.samples...)
+	} else {
+		nh := int(float64(reservoirSize)*float64(h.seen)/float64(total) + 0.5)
+		if nh > len(h.samples) {
+			nh = len(h.samples)
+		}
+		no := reservoirSize - nh
+		if no > len(o.samples) {
+			no = len(o.samples)
+			nh = reservoirSize - no
+		}
+		merged := make([]sim.Duration, 0, nh+no)
+		merged = append(merged, stride(h.samples, nh)...)
+		merged = append(merged, stride(o.samples, no)...)
+		h.samples = merged
+	}
+	h.seen = total
+	h.dirty = true
+}
+
+// stride returns n elements of s at evenly spaced positions (all of s when
+// n >= len(s)).
+func stride(s []sim.Duration, n int) []sim.Duration {
+	if n >= len(s) {
+		return s
+	}
+	if n <= 0 {
+		return nil
+	}
+	out := make([]sim.Duration, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, s[i*len(s)/n])
+	}
+	return out
+}
+
 // Meter accumulates operation and byte counts over a simulated interval and
 // reports IOPS and bandwidth.
 type Meter struct {
@@ -184,6 +249,30 @@ func (m *Meter) BandwidthMBps() float64 {
 		return 0
 	}
 	return float64(m.bytes) / 1e6 / e
+}
+
+// Merge folds o's interval and totals into m: the merged span is
+// [min(start), max(end)] — NOT the sum of elapsed times, which would
+// double-count overlap when per-channel meters measured concurrently — and
+// ops/bytes add. An empty meter (no recorded op and zero span) contributes
+// nothing, so merging a never-used channel does not drag start to its boot
+// instant. o is not modified.
+func (m *Meter) Merge(o *Meter) {
+	if o == nil || (o.ops == 0 && o.bytes == 0 && o.start == o.end) {
+		return
+	}
+	if m.ops == 0 && m.bytes == 0 && m.start == m.end {
+		*m = *o
+		return
+	}
+	if o.start < m.start {
+		m.start = o.start
+	}
+	if o.end > m.end {
+		m.end = o.end
+	}
+	m.ops += o.ops
+	m.bytes += o.bytes
 }
 
 // Series is a (x, value) sequence for bandwidth-over-progress plots.
@@ -273,6 +362,20 @@ func (c *Counters) Snapshot() map[string]uint64 {
 		out[k] = v
 	}
 	return out
+}
+
+// Merge adds every counter in o into c (registering names as needed). o's
+// sorted-name order drives iteration, so registration order in c — and with
+// it String/Names output — is independent of map iteration. o is not
+// modified beyond the lazy sort of its name list.
+func (c *Counters) Merge(o *Counters) {
+	if o == nil {
+		return
+	}
+	o.sortNames()
+	for _, n := range o.names {
+		c.Add(n, o.m[n])
+	}
 }
 
 // NonZero reports whether any of the given counters is nonzero, returning

@@ -190,6 +190,152 @@ func TestCountersLazySort(t *testing.T) {
 	}
 }
 
+// TestHistogramMerge: exact fields (count, sum, min, max) combine exactly,
+// percentiles of the merged reservoir land between the inputs, and merging
+// into an empty histogram copies the other side.
+func TestHistogramMerge(t *testing.T) {
+	a := NewHistogram()
+	b := NewHistogram()
+	for i := 1; i <= 1000; i++ {
+		a.Record(sim.Duration(i) * sim.Microsecond) // 1..1000 us
+		b.Record(sim.Duration(i+2000) * sim.Microsecond)
+	}
+	a.Merge(b)
+	if a.Count() != 2000 {
+		t.Fatalf("count = %d, want 2000", a.Count())
+	}
+	if a.Min() != sim.Microsecond || a.Max() != 3000*sim.Microsecond {
+		t.Fatalf("min/max = %v/%v", a.Min(), a.Max())
+	}
+	wantMean := (1000*1001/2 + 1000*2001+1000*1001/2) / 2000
+	if got := a.Mean().Microseconds(); got < float64(wantMean)*0.99 || got > float64(wantMean)*1.01 {
+		t.Fatalf("mean = %vus, want ~%dus", got, wantMean)
+	}
+	// b's samples all exceed a's, so p50 of the merge must sit at the seam.
+	if p := a.Percentile(50); p < 900*sim.Microsecond || p > 2100*sim.Microsecond {
+		t.Fatalf("merged p50 = %v", p)
+	}
+	if p := a.Percentile(99); p < 2500*sim.Microsecond {
+		t.Fatalf("merged p99 = %v, want in b's upper range", p)
+	}
+
+	empty := NewHistogram()
+	empty.Merge(a)
+	if empty.Count() != a.Count() || empty.Max() != a.Max() || empty.Min() != a.Min() {
+		t.Fatal("merge into empty did not copy")
+	}
+	before := a.Count()
+	a.Merge(NewHistogram())
+	if a.Count() != before {
+		t.Fatal("merging an empty histogram changed the receiver")
+	}
+}
+
+// TestHistogramMergeReservoirBounded: merging two full reservoirs stays
+// within reservoirSize and keeps proportional representation.
+func TestHistogramMergeReservoirBounded(t *testing.T) {
+	a := NewHistogram()
+	b := NewHistogram()
+	for i := 0; i < 3*reservoirSize; i++ {
+		a.Record(10) // 3R observations of 10
+	}
+	for i := 0; i < reservoirSize; i++ {
+		b.Record(1000) // R observations of 1000
+	}
+	a.Merge(b)
+	if len(a.samples) > reservoirSize {
+		t.Fatalf("merged reservoir grew to %d", len(a.samples))
+	}
+	// a carried 3/4 of the observations: the merged median must be a's value
+	// and the tail must still see b's.
+	if p := a.Percentile(50); p != 10 {
+		t.Fatalf("merged p50 = %v, want 10", p)
+	}
+	if p := a.Percentile(90); p != 1000 {
+		t.Fatalf("merged p90 = %v, want 1000 (b underrepresented)", p)
+	}
+}
+
+// TestHistogramMergeDeterministic: merging the same inputs twice yields
+// identical reservoirs (no RNG draw involved).
+func TestHistogramMergeDeterministic(t *testing.T) {
+	build := func() *Histogram {
+		a := NewHistogram()
+		b := NewHistogram()
+		for i := 0; i < 2*reservoirSize; i++ {
+			a.Record(sim.Duration(i))
+			b.Record(sim.Duration(i * 7))
+		}
+		a.Merge(b)
+		return a
+	}
+	x, y := build(), build()
+	for _, p := range []float64{1, 25, 50, 75, 99, 99.9} {
+		if x.Percentile(p) != y.Percentile(p) {
+			t.Fatalf("p%v diverged: %v vs %v", p, x.Percentile(p), y.Percentile(p))
+		}
+	}
+}
+
+// TestMeterMerge: the merged span is min(start)/max(end) — not the elapsed
+// sum, which would double-count the overlap of concurrently measuring
+// channels — and ops/bytes add.
+func TestMeterMerge(t *testing.T) {
+	a := NewMeter(sim.Time(1 * sim.Millisecond))
+	a.Record(sim.Time(3*sim.Millisecond), 1000)
+	b := NewMeter(sim.Time(2 * sim.Millisecond))
+	b.Record(sim.Time(5*sim.Millisecond), 3000)
+	a.Merge(b)
+	if a.Ops() != 2 || a.Bytes() != 4000 {
+		t.Fatalf("ops/bytes = %d/%d", a.Ops(), a.Bytes())
+	}
+	// Span must be [1ms, 5ms] = 4ms, not (3-1)+(5-2) = 5ms.
+	if a.Elapsed() != 4*sim.Millisecond {
+		t.Fatalf("elapsed = %v, want 4ms (min start / max end)", a.Elapsed())
+	}
+	// 4000 B over 4 ms = 1 MB/s.
+	if bw := a.BandwidthMBps(); bw < 0.99 || bw > 1.01 {
+		t.Fatalf("bandwidth = %v", bw)
+	}
+
+	// An idle meter (started but never recorded) must not drag the span.
+	idle := NewMeter(0)
+	a.Merge(idle)
+	if a.Elapsed() != 4*sim.Millisecond {
+		t.Fatalf("idle merge moved the span: %v", a.Elapsed())
+	}
+	// Merging into an empty meter copies the live one.
+	e := NewMeter(0)
+	e.Merge(a)
+	if e.Ops() != 2 || e.Elapsed() != 4*sim.Millisecond {
+		t.Fatalf("empty merge: ops=%d elapsed=%v", e.Ops(), e.Elapsed())
+	}
+}
+
+// TestCountersMerge: values add, names register, receiver order is sorted.
+func TestCountersMerge(t *testing.T) {
+	a := NewCounters()
+	a.Add("shared", 2)
+	a.Inc("only-a")
+	b := NewCounters()
+	b.Add("shared", 3)
+	b.Add("only-b", 7)
+	a.Merge(b)
+	if a.Get("shared") != 5 || a.Get("only-a") != 1 || a.Get("only-b") != 7 {
+		t.Fatalf("merged = %v", a)
+	}
+	if s := a.String(); s != "{only-a=1 only-b=7 shared=5}" {
+		t.Fatalf("String() = %q", s)
+	}
+	if b.Get("shared") != 3 {
+		t.Fatal("merge modified the source")
+	}
+	a.Merge(nil) // must be a no-op
+	if a.Get("shared") != 5 {
+		t.Fatal("nil merge changed receiver")
+	}
+}
+
 func TestHistogramString(t *testing.T) {
 	h := NewHistogram()
 	h.Record(sim.Microsecond)

@@ -1,0 +1,572 @@
+// Package pool scales the single-module simulation to a socket: N
+// independent core.System instances — one per (channel, DIMM) position, each
+// with its own iMC, DRAM cache, refresh detector, NVMC and auditor — behind
+// an interleaved address decoder and an open-loop front-end scheduler with
+// per-channel queues, epoch-batched dispatch, bounded in-flight windows and
+// admission control. The paper's PoC is one NVDIMM-C on one DDR4 channel
+// (§VI); its target deployment (§I, §VIII) populates 6 channels x 2 DIMMs
+// per socket, where the Optane literature shows interleave granularity and
+// per-DIMM contention dominate delivered bandwidth and tail latency.
+//
+// # Determinism
+//
+// Channels advance in conservative epoch lockstep. All cross-member
+// interaction — arrival admission, queue refill, window dispatch, completion
+// collection — happens single-threaded at epoch boundaries, in canonical
+// member/channel order; between boundaries each member's kernel runs
+// independently (optionally on parallel workers) and touches only its own
+// state, exactly the PR-2 shard contract. A member never observes another
+// member's mid-epoch state, so the pooled run is byte-identical at any
+// worker count, including under -race. The price is scheduling latency
+// quantized to the epoch (default one tREFI) and an in-flight window that
+// only recycles at boundaries; both are front-end costs a real socket pays
+// in different coin (arbitration, queue polling), and both are sized so the
+// window, not the epoch, bounds per-channel throughput headroom.
+//
+// # Backpressure
+//
+// Each channel owns a bounded dispatch queue (QueueCap) feeding a bounded
+// in-flight window (Window). Arrivals that find their channel's queue full
+// are held at admission — never dropped — and re-offered each epoch in
+// arrival order. A hot channel therefore degrades into growing held/queue
+// latency on its own traffic while other channels keep streaming; nothing
+// blocks pool-wide, no acked write is ever lost, and the saturation shows up
+// where it should: in that channel's p99/p999.
+package pool
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"nvdimmc/internal/core"
+	"nvdimmc/internal/metrics"
+	"nvdimmc/internal/sim"
+	"nvdimmc/internal/workload/fio"
+	"nvdimmc/internal/workload/openloop"
+)
+
+// PageSize re-exports the system-wide management granularity.
+const PageSize = core.PageSize
+
+// Config parameterizes a pooled socket.
+type Config struct {
+	// Channels is the memory-channel count (the paper's target board has 6).
+	Channels int
+	// DIMMsPerChannel multiplies capacity per channel (servers run 2).
+	DIMMsPerChannel int
+	// Interleave is the stripe granularity in bytes: 4 KB (page) or 2 MB
+	// (huge page) are the supported sweep points; any multiple of the page
+	// size that divides member capacity works.
+	Interleave int64
+	// Member configures every (channel, DIMM) core.System identically;
+	// per-member RNG streams are split from Seed.
+	Member core.Config
+	// Window caps in-flight fragments per channel (default 32). Slots
+	// recycle at epoch boundaries, so Window/Epoch bounds per-channel
+	// throughput; the default leaves ~4x headroom over a cached channel.
+	Window int
+	// QueueCap bounds each channel's dispatch queue (default 64); beyond it
+	// arrivals are held at admission (backpressure).
+	QueueCap int
+	// Epoch is the lockstep quantum (default: the member tREFI).
+	Epoch sim.Duration
+	// Workers caps how many members advance concurrently per epoch (<=1
+	// serial; output is identical either way).
+	Workers int
+	// Seed master-seeds per-member systems and the dispatch jitter streams.
+	Seed uint64
+	// PrefillPages seq-writes this many pages per member before the pool
+	// opens, making them cache-resident (the NVDC-Cached precondition); -1
+	// prefills 90% of each member's slots; 0 skips.
+	PrefillPages int
+	// WalkFootprint, when nonzero, pins every member's TLB/page-walk cost to
+	// this (paper-scale) footprint, as the scaled experiments do.
+	WalkFootprint int64
+	// MaxEpochs guards Run against a wedged pool (default 1<<22 epochs).
+	MaxEpochs int
+}
+
+// DefaultConfig returns a laptop-scale pool: 1 channel x 1 DIMM of the
+// default scaled member, 4 KB interleave.
+func DefaultConfig() Config {
+	return Config{
+		Channels:        1,
+		DIMMsPerChannel: 1,
+		Interleave:      4096,
+		Member:          core.DefaultConfig(),
+		Seed:            1,
+	}
+}
+
+func (c *Config) fillDefaults() error {
+	if c.Channels < 1 || c.DIMMsPerChannel < 1 {
+		return fmt.Errorf("pool: %d channels x %d DIMMs", c.Channels, c.DIMMsPerChannel)
+	}
+	if c.Interleave == 0 {
+		c.Interleave = 4096
+	}
+	if c.Interleave%PageSize != 0 {
+		return fmt.Errorf("pool: interleave %d not a multiple of the %d B page", c.Interleave, PageSize)
+	}
+	if c.Window <= 0 {
+		c.Window = 32
+	}
+	if c.QueueCap <= 0 {
+		c.QueueCap = 64
+	}
+	if c.Epoch <= 0 {
+		c.Epoch = c.Member.TREFI
+		if c.Epoch <= 0 {
+			c.Epoch = 7800 * sim.Nanosecond
+		}
+	}
+	if c.MaxEpochs <= 0 {
+		c.MaxEpochs = 1 << 22
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return nil
+}
+
+// request is one front-end op; fragments spanning stripes complete it
+// together.
+type request struct {
+	arrival   sim.Time
+	write     bool
+	remaining int
+	lastDone  sim.Time
+	channel0  int // channel of the first fragment: latency attribution
+}
+
+// fragment is the per-member piece of a request.
+type fragment struct {
+	req    *request
+	member int
+	off    int64
+	n      int
+}
+
+// completion is recorded by a member mid-epoch, drained at the boundary.
+type completion struct {
+	frag *fragment
+	at   sim.Time
+}
+
+// member is one (channel, DIMM) system.
+type member struct {
+	sys *core.System
+	tgt *core.FioTarget
+	jit *sim.Rand
+	// done accumulates completions during an epoch; only this member's
+	// worker touches it until the barrier.
+	done []completion
+}
+
+// channelState is the front-end's per-channel scheduler state.
+type channelState struct {
+	pending  []*fragment // admission-held, FIFO (unbounded: backpressure, never drop)
+	queue    []*fragment // dispatchable batch, <= QueueCap
+	inflight int         // dispatched fragments not yet collected
+	lat      *metrics.Histogram
+	meter    *metrics.Meter
+	ctr      *metrics.Counters
+}
+
+// Pool is an assembled socket-scale memory pool.
+type Pool struct {
+	Cfg Config
+	Dec *Decoder
+
+	members []*member
+	chans   []*channelState
+	epoch0  sim.Time
+	now     sim.Time
+
+	submitted uint64
+	completed uint64
+	writesIn  uint64
+	writesAck uint64
+	epochs    int
+	heldPeak  int
+}
+
+// New assembles Channels x DIMMsPerChannel member systems (in parallel when
+// cfg.Workers > 1 — construction order is irrelevant to state), prefills
+// them, and aligns their clocks on the first epoch boundary.
+func New(cfg Config) (*Pool, error) {
+	if err := cfg.fillDefaults(); err != nil {
+		return nil, err
+	}
+	n := cfg.Channels * cfg.DIMMsPerChannel
+	p := &Pool{Cfg: cfg, members: make([]*member, n)}
+	errs := make([]error, n)
+	parallelEach(n, cfg.Workers, func(i int) {
+		mcfg := cfg.Member
+		mcfg.Seed = sim.SplitSeed(cfg.Seed, fmt.Sprintf("pool/member-%02d", i))
+		sys, err := core.NewSystem(mcfg)
+		if err != nil {
+			errs[i] = fmt.Errorf("member %d: %w", i, err)
+			return
+		}
+		tgt := sys.NewFioTarget()
+		pre := cfg.PrefillPages
+		if pre < 0 {
+			pre = sys.Layout.NumSlots * 9 / 10
+		}
+		if pre > 0 {
+			if err := fio.Prefill(tgt, int64(pre)*PageSize, PageSize); err != nil {
+				errs[i] = fmt.Errorf("member %d prefill: %w", i, err)
+				return
+			}
+		}
+		if cfg.WalkFootprint > 0 {
+			tgt.SetWalkFootprint(cfg.WalkFootprint)
+		}
+		tgt.Prepare(tgt.Capacity())
+		p.members[i] = &member{
+			sys: sys,
+			tgt: tgt,
+			jit: sim.NewRand(sim.SplitSeed(cfg.Seed, fmt.Sprintf("pool/jitter-%02d", i))),
+		}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Seeded media models mark different bad blocks per member, so usable
+	// capacities differ slightly; the pool addresses the least common
+	// capacity, rounded down to whole stripes — as a BIOS interleaving
+	// mismatched DIMMs would.
+	memberCap := p.members[0].tgt.Capacity()
+	for _, m := range p.members[1:] {
+		if c := m.tgt.Capacity(); c < memberCap {
+			memberCap = c
+		}
+	}
+	memberCap -= memberCap % cfg.Interleave
+	if memberCap <= 0 {
+		return nil, fmt.Errorf("pool: member capacity below one %d B stripe", cfg.Interleave)
+	}
+	dec, err := NewDecoder(n, cfg.Interleave, memberCap)
+	if err != nil {
+		return nil, err
+	}
+	p.Dec = dec
+
+	// Boot and prefill advance each member by a slightly different amount
+	// (seeded media models differ); align all clocks on the latest.
+	for _, m := range p.members {
+		if t := m.sys.K.Now(); t > p.epoch0 {
+			p.epoch0 = t
+		}
+	}
+	for _, m := range p.members {
+		m.sys.K.RunUntil(p.epoch0)
+	}
+	p.now = p.epoch0
+
+	p.chans = make([]*channelState, cfg.Channels)
+	for i := range p.chans {
+		p.chans[i] = &channelState{
+			lat:   metrics.NewHistogram(),
+			meter: metrics.NewMeter(p.epoch0),
+			ctr:   metrics.NewCounters(),
+		}
+	}
+	return p, nil
+}
+
+// Capacity returns the pooled byte-addressable capacity.
+func (p *Pool) Capacity() int64 { return p.Dec.Capacity() }
+
+// CachedFootprint returns the largest stripe-aligned pooled footprint whose
+// every fragment lands inside the per-member prefilled (cache-resident)
+// region — the pooled analogue of the NVDC-Cached precondition.
+func (p *Pool) CachedFootprint() int64 {
+	pre := p.Cfg.PrefillPages
+	if pre < 0 {
+		pre = p.members[0].sys.Layout.NumSlots * 9 / 10
+	}
+	groups := int64(pre) * PageSize / p.Cfg.Interleave
+	if groups > p.Dec.groupCount {
+		groups = p.Dec.groupCount
+	}
+	return groups * p.Cfg.Interleave * int64(len(p.members))
+}
+
+// channelOf maps a member index to its channel: the decoder interleaves
+// across channels first, so adjacent stripes land on adjacent channels.
+func (p *Pool) channelOf(memberIdx int) int { return memberIdx % p.Cfg.Channels }
+
+// submit decodes one arrival into fragments and routes each to its channel:
+// into the dispatch queue when there is room, held at admission otherwise.
+func (p *Pool) submit(r openloop.Request) {
+	req := &request{
+		arrival: p.epoch0.Add(r.Arrival),
+		write:   r.Write,
+	}
+	frags := p.Dec.Fragments(r.Off, r.Len)
+	req.remaining = len(frags)
+	req.channel0 = p.channelOf(frags[0].Member)
+	p.submitted++
+	if req.write {
+		p.writesIn++
+	}
+	for i := range frags {
+		f := &fragment{req: req, member: frags[i].Member, off: frags[i].Off, n: frags[i].Len}
+		ch := p.chans[p.channelOf(f.member)]
+		if len(ch.queue) < p.Cfg.QueueCap {
+			ch.queue = append(ch.queue, f)
+			ch.ctr.Inc("frags-admitted")
+		} else {
+			ch.pending = append(ch.pending, f)
+			ch.ctr.Inc("frags-held")
+		}
+	}
+}
+
+// fill refills a channel's queue from its held list, then dispatches queued
+// fragments into the in-flight window.
+func (p *Pool) fill(ci int) {
+	ch := p.chans[ci]
+	for len(ch.pending) > 0 && len(ch.queue) < p.Cfg.QueueCap {
+		ch.queue = append(ch.queue, ch.pending[0])
+		ch.pending = ch.pending[1:]
+		ch.ctr.Inc("frags-admitted")
+	}
+	dispatched := false
+	for ch.inflight < p.Cfg.Window && len(ch.queue) > 0 {
+		f := ch.queue[0]
+		ch.queue = ch.queue[1:]
+		ch.inflight++
+		ch.ctr.Inc("frags-dispatched")
+		dispatched = true
+		p.dispatch(f)
+	}
+	if dispatched {
+		ch.ctr.Inc("dispatch-batches")
+	}
+	if held := len(ch.pending); held > p.heldPeak {
+		p.heldPeak = held
+	}
+}
+
+// dispatch schedules one fragment on its member's kernel: the host CPU cost
+// (plus deterministic jitter, drawn here at the single-threaded boundary so
+// worker count cannot reorder draws), then the device op. The completion
+// callback runs mid-epoch on the member's worker and only touches
+// member-local state.
+func (p *Pool) dispatch(f *fragment) {
+	m := p.members[f.member]
+	at := f.req.arrival
+	if at < p.now {
+		at = p.now
+	}
+	cpu := m.tgt.ThreadCPU(f.n, f.req.write)
+	cpu += sim.Duration(m.jit.Int63n(int64(cpu)/2+1)) - sim.Duration(int64(cpu)/4)
+	mm := m
+	frag := f
+	m.sys.K.ScheduleAt(at.Add(cpu), func() {
+		mm.tgt.Do(frag.off, frag.n, frag.req.write, func() {
+			mm.done = append(mm.done, completion{frag: frag, at: mm.sys.K.Now()})
+		})
+	})
+}
+
+// collect drains every member's completions (member order, then completion
+// order — both deterministic), releasing window slots and finishing
+// requests.
+func (p *Pool) collect() {
+	for _, m := range p.members {
+		for _, c := range m.done {
+			f := c.frag
+			ch := p.chans[p.channelOf(f.member)]
+			ch.inflight--
+			ch.meter.Record(c.at, f.n)
+			ch.ctr.Inc("frags-completed")
+			r := f.req
+			if c.at > r.lastDone {
+				r.lastDone = c.at
+			}
+			r.remaining--
+			if r.remaining == 0 {
+				p.chans[r.channel0].lat.Record(r.lastDone.Sub(r.arrival))
+				p.chans[r.channel0].ctr.Inc("requests-completed")
+				p.completed++
+				if r.write {
+					p.writesAck++
+				}
+			}
+		}
+		m.done = m.done[:0]
+	}
+}
+
+// Run drains requests from next (until it reports false) through the pool
+// and returns once every admitted request has completed. next is called at
+// epoch boundaries only.
+func (p *Pool) Run(next func() (openloop.Request, bool)) error {
+	var look *openloop.Request
+	exhausted := false
+	for {
+		if p.epochs >= p.Cfg.MaxEpochs {
+			return fmt.Errorf("pool: %d epochs without draining (%d/%d requests complete) — wedged?",
+				p.epochs, p.completed, p.submitted)
+		}
+		p.epochs++
+		epochEnd := p.now.Add(p.Cfg.Epoch)
+		for !exhausted {
+			if look == nil {
+				r, ok := next()
+				if !ok {
+					exhausted = true
+					break
+				}
+				look = &r
+			}
+			if p.epoch0.Add(look.Arrival) >= epochEnd {
+				break
+			}
+			p.submit(*look)
+			look = nil
+		}
+		for ci := range p.chans {
+			p.fill(ci)
+		}
+		parallelEach(len(p.members), p.Cfg.Workers, func(i int) {
+			p.members[i].sys.K.RunUntil(epochEnd)
+		})
+		p.collect()
+		p.now = epochEnd
+		if exhausted && look == nil && p.completed == p.submitted {
+			return nil
+		}
+	}
+}
+
+// RunOpenLoop feeds count requests from gen through the pool.
+func (p *Pool) RunOpenLoop(gen *openloop.Generator, count int) error {
+	issued := 0
+	return p.Run(func() (openloop.Request, bool) {
+		if issued >= count {
+			return openloop.Request{}, false
+		}
+		issued++
+		return gen.Next(), true
+	})
+}
+
+// Stats is the pool-level aggregate plus the per-channel breakdown.
+type Stats struct {
+	// Lat holds request latencies (arrival to last-fragment completion).
+	Lat *metrics.Histogram
+	// Meter aggregates completed bytes over the pooled measurement span
+	// (min start / max end across channels, not the double-counting sum).
+	Meter *metrics.Meter
+	// Ctr merges the per-channel scheduler counters.
+	Ctr *metrics.Counters
+	// PerChannel carries each channel's own view, channel order.
+	PerChannel []ChannelStats
+
+	Submitted   uint64
+	Completed   uint64
+	WritesAcked uint64
+	Epochs      int
+	// HeldPeak is the deepest any channel's admission-held backlog got.
+	HeldPeak int
+}
+
+// ChannelStats is one channel's front-end view.
+type ChannelStats struct {
+	Lat   *metrics.Histogram
+	Meter *metrics.Meter
+	Ctr   *metrics.Counters
+}
+
+// Stats merges the per-channel stats into the pool view using the metrics
+// Merge primitives (no sample is re-recorded).
+func (p *Pool) Stats() Stats {
+	s := Stats{
+		Lat:         metrics.NewHistogram(),
+		Meter:       metrics.NewMeter(p.epoch0),
+		Ctr:         metrics.NewCounters(),
+		Submitted:   p.submitted,
+		Completed:   p.completed,
+		WritesAcked: p.writesAck,
+		Epochs:      p.epochs,
+		HeldPeak:    p.heldPeak,
+	}
+	for _, ch := range p.chans {
+		s.Lat.Merge(ch.lat)
+		s.Meter.Merge(ch.meter)
+		s.Ctr.Merge(ch.ctr)
+		s.PerChannel = append(s.PerChannel, ChannelStats{Lat: ch.lat, Meter: ch.meter, Ctr: ch.ctr})
+	}
+	return s
+}
+
+// Member exposes member i's system (tests and health checks).
+func (p *Pool) Member(i int) *core.System { return p.members[i].sys }
+
+// Members returns the member count.
+func (p *Pool) Members() int { return len(p.members) }
+
+// CheckHealth runs every member's CheckHealth and the pool's own
+// conservation invariants: every admitted request completed, every acked
+// write accounted, no fragment stranded in a queue or window.
+func (p *Pool) CheckHealth() error {
+	if p.completed != p.submitted {
+		return fmt.Errorf("pool: %d of %d requests incomplete", p.submitted-p.completed, p.submitted)
+	}
+	if p.writesAck != p.writesIn {
+		return fmt.Errorf("pool: %d writes admitted but %d acked", p.writesIn, p.writesAck)
+	}
+	for i, ch := range p.chans {
+		if len(ch.pending) != 0 || len(ch.queue) != 0 || ch.inflight != 0 {
+			return fmt.Errorf("pool: channel %d left held=%d queued=%d inflight=%d",
+				i, len(ch.pending), len(ch.queue), ch.inflight)
+		}
+	}
+	for i, m := range p.members {
+		if err := m.sys.CheckHealth(); err != nil {
+			return fmt.Errorf("pool: member %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// parallelEach runs fn(0..n-1) across at most workers goroutines (serial
+// when workers <= 1). Callers guarantee fn(i) touches only item-i state, so
+// scheduling order cannot leak into results — the same contract as the
+// experiment layer's runShards.
+func parallelEach(n, workers int, fn func(i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -143,6 +143,57 @@ func TestWarmupExcluded(t *testing.T) {
 	_ = sim.Duration(0)
 }
 
+// TestRandRWMixRatioSweep pins the rwmixread knob across its range: the
+// device-observed write share must track 100-ReadPct within tolerance.
+func TestRandRWMixRatioSweep(t *testing.T) {
+	for _, readPct := range []int{10, 50, 90} {
+		d := newBaseline(t)
+		_, err := Run(d, Job{
+			Pattern: RandRW, BlockSize: 4096, NumJobs: 1, ReadPct: readPct,
+			FileSize: 1 << 28, OpsPerThread: 1500,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		reads, writes, _, _ := d.IMC.Stats()
+		want := float64(100-readPct) / 100
+		got := float64(writes) / float64(reads+writes)
+		if got < want-0.06 || got > want+0.06 {
+			t.Fatalf("readpct=%d: write share = %.3f, want %.2f +/- 0.06", readPct, got, want)
+		}
+	}
+}
+
+// TestRunDeterministicUnderSeed: the generator side of fio is a pure
+// function of Job.Seed — two identical runs must report identical measured
+// results, and a different seed must visit different offsets.
+func TestRunDeterministicUnderSeed(t *testing.T) {
+	run := func(seed uint64) Result {
+		d := newBaseline(t)
+		res, err := Run(d, Job{
+			Pattern: RandRW, BlockSize: 4096, NumJobs: 2, Seed: seed,
+			FileSize: 1 << 28, OpsPerThread: 400, WarmupOps: 40,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(99), run(99)
+	if a.KIOPS() != b.KIOPS() || a.BandwidthMBps() != b.BandwidthMBps() {
+		t.Fatalf("same seed diverged: %.3f/%.3f KIOPS", a.KIOPS(), b.KIOPS())
+	}
+	for _, p := range []float64{50, 99, 99.9} {
+		if a.Latency.Percentile(p) != b.Latency.Percentile(p) {
+			t.Fatalf("same seed: p%v %v vs %v", p, a.Latency.Percentile(p), b.Latency.Percentile(p))
+		}
+	}
+	c := run(100)
+	if a.Latency.Mean() == c.Latency.Mean() && a.Latency.Percentile(99) == c.Latency.Percentile(99) {
+		t.Fatal("different seeds produced identical latency profiles (seed unused?)")
+	}
+}
+
 func TestRandRWMix(t *testing.T) {
 	d := newBaseline(t)
 	res, err := Run(d, Job{

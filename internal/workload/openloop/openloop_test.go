@@ -1,0 +1,192 @@
+package openloop
+
+import (
+	"testing"
+
+	"nvdimmc/internal/sim"
+)
+
+func twoTenants() Config {
+	return Config{
+		Seed:       42,
+		RatePerSec: 1e6,
+		Tenants: []Tenant{
+			{Name: "zipf", Dist: Zipfian, Weight: 3, Footprint: 1 << 22, ReadPct: 80},
+			{Name: "uni", Dist: Uniform, Weight: 1, Footprint: 1 << 22, ReadPct: -1},
+		},
+	}
+}
+
+// TestDeterminismUnderSeed: two generators with the same seed emit identical
+// streams; a different seed diverges.
+func TestDeterminismUnderSeed(t *testing.T) {
+	a, err := New(twoTenants())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(twoTenants())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5000; i++ {
+		ra, rb := a.Next(), b.Next()
+		if ra != rb {
+			t.Fatalf("request %d diverged: %+v vs %+v", i, ra, rb)
+		}
+	}
+	cfg := twoTenants()
+	cfg.Seed = 43
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := 0
+	aa, _ := New(twoTenants())
+	for i := 0; i < 100; i++ {
+		if aa.Next() == c.Next() {
+			same++
+		}
+	}
+	if same > 5 {
+		t.Fatalf("different seeds produced %d/100 identical requests", same)
+	}
+}
+
+// TestZipfianSkew: the top 1% of blocks must receive the analytic zipf mass
+// within tolerance, and the uniform tenant must show no such skew.
+func TestZipfianSkew(t *testing.T) {
+	const blocks = 10000
+	cfg := Config{
+		Seed:       7,
+		RatePerSec: 1e6,
+		Tenants: []Tenant{
+			{Dist: Zipfian, Theta: 0.99, Footprint: blocks * 4096},
+		},
+	}
+	g, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const draws = 200000
+	counts := make([]int, blocks)
+	for i := 0; i < draws; i++ {
+		counts[g.Next().Off/4096]++
+	}
+	topK := int64(blocks / 100) // top 1% of ranks (the generator's hot head)
+	hot := 0
+	for i := int64(0); i < topK; i++ {
+		hot += counts[i]
+	}
+	got := float64(hot) / draws
+	want := TopMass(blocks, topK, 0.99)
+	if got < want*0.85 || got > want*1.15 {
+		t.Fatalf("top-1%% mass = %.3f, want %.3f +/- 15%%", got, want)
+	}
+	// Sanity on the analytic reference itself: zipf(0.99) over 10k items
+	// concentrates roughly half its mass in the top 1%.
+	if want < 0.3 || want > 0.7 {
+		t.Fatalf("analytic top-1%% mass = %.3f, outside sane zipf range", want)
+	}
+
+	// Uniform control: top 1% of blocks get ~1% of draws.
+	ucfg := Config{Seed: 7, RatePerSec: 1e6,
+		Tenants: []Tenant{{Dist: Uniform, Footprint: blocks * 4096}}}
+	ug, err := New(ucfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uhot := 0
+	for i := 0; i < draws; i++ {
+		if ug.Next().Off/4096 < topK {
+			uhot++
+		}
+	}
+	if frac := float64(uhot) / draws; frac > 0.02 {
+		t.Fatalf("uniform top-1%% mass = %.3f, want ~0.01", frac)
+	}
+}
+
+// TestArrivalRateAndMonotonicity: mean interarrival tracks 1/rate and
+// arrivals are strictly increasing.
+func TestArrivalRateAndMonotonicity(t *testing.T) {
+	g, err := New(twoTenants()) // 1M ops/s -> 1 us mean spacing
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 50000
+	var last sim.Duration
+	for i := 0; i < n; i++ {
+		r := g.Next()
+		if r.Arrival <= last {
+			t.Fatalf("arrival %d not increasing: %v after %v", i, r.Arrival, last)
+		}
+		last = r.Arrival
+	}
+	mean := float64(last) / n
+	if mean < 0.9*float64(sim.Microsecond) || mean > 1.1*float64(sim.Microsecond) {
+		t.Fatalf("mean interarrival = %.0f ps, want ~1us", mean)
+	}
+
+	// Saturating mode: fixed 1 ns spacing.
+	cfg := twoTenants()
+	cfg.RatePerSec = 0
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, r2 := s.Next(), s.Next()
+	if r2.Arrival-r1.Arrival != sim.Nanosecond {
+		t.Fatalf("saturating spacing = %v, want 1ns", r2.Arrival-r1.Arrival)
+	}
+}
+
+// TestTenantWeightsAndOpMix: arrival shares track weights (3:1) and each
+// tenant's write fraction tracks its ReadPct.
+func TestTenantWeightsAndOpMix(t *testing.T) {
+	g, err := New(twoTenants())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 40000
+	var perTenant [2]int
+	var writes [2]int
+	for i := 0; i < n; i++ {
+		r := g.Next()
+		perTenant[r.Tenant]++
+		if r.Write {
+			writes[r.Tenant]++
+		}
+		if r.Len != 4096 {
+			t.Fatalf("block size = %d", r.Len)
+		}
+		if r.Off < 0 || r.Off+int64(r.Len) > 1<<22 {
+			t.Fatalf("offset %d outside tenant footprint", r.Off)
+		}
+	}
+	if share := float64(perTenant[0]) / n; share < 0.70 || share > 0.80 {
+		t.Fatalf("tenant 0 share = %.3f, want ~0.75", share)
+	}
+	// Tenant 0: ReadPct 80 -> ~20% writes. Tenant 1: write-only.
+	if frac := float64(writes[0]) / float64(perTenant[0]); frac < 0.15 || frac > 0.25 {
+		t.Fatalf("tenant 0 write share = %.3f, want ~0.20", frac)
+	}
+	if writes[1] != perTenant[1] {
+		t.Fatalf("write-only tenant issued %d/%d writes", writes[1], perTenant[1])
+	}
+}
+
+// TestConfigValidation: bad configs are rejected.
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("no tenants accepted")
+	}
+	if _, err := New(Config{Tenants: []Tenant{{Footprint: 100, BlockSize: 4096}}}); err == nil {
+		t.Fatal("footprint < block accepted")
+	}
+	if _, err := New(Config{Tenants: []Tenant{{Footprint: 1 << 20, ReadPct: 150}}}); err == nil {
+		t.Fatal("read pct > 100 accepted")
+	}
+	if _, err := New(Config{Tenants: []Tenant{{Footprint: 1 << 20, Dist: Zipfian, Theta: 1.5}}}); err == nil {
+		t.Fatal("theta >= 1 accepted")
+	}
+}

@@ -48,6 +48,53 @@ func TestKernelsOnFlatMemory(t *testing.T) {
 	}
 }
 
+// countingMemory wraps flatMemory and tallies load/store traffic so the
+// kernel op mix is checkable.
+type countingMemory struct {
+	flatMemory
+	loadBytes, storeBytes int64
+	loads, stores         int
+}
+
+func (m *countingMemory) Load(off int64, buf []byte, done func()) {
+	m.loads++
+	m.loadBytes += int64(len(buf))
+	m.flatMemory.Load(off, buf, done)
+}
+func (m *countingMemory) Store(off int64, data []byte, done func()) {
+	m.stores++
+	m.storeBytes += int64(len(data))
+	m.flatMemory.Store(off, data, done)
+}
+
+// TestIterationOpMix pins the per-iteration operation mix: one STREAM
+// iteration issues exactly 4 vector stores (Copy, Scale, Add, Triad outputs)
+// and 6 vector loads (the a/b reference loads plus one verify readback per
+// kernel), so the load:store byte ratio is exactly 3:2. A kernel silently
+// dropping its verify pass — the paper's whole reason for modifying STREAM —
+// would show up here as a ratio shift.
+func TestIterationOpMix(t *testing.T) {
+	mem := &countingMemory{flatMemory: flatMemory{b: make([]byte, 1<<16)}}
+	r := New(mem, 0, 128)
+	r.Init(nil)
+	// Init's 3 vector stores are setup, not part of the kernel mix.
+	mem.loads, mem.stores, mem.loadBytes, mem.storeBytes = 0, 0, 0, 0
+	const iters = 4
+	for i := 0; i < iters; i++ {
+		r.RunIteration(func(int) {})
+	}
+	vec := int64(128 * elemSize)
+	if mem.stores != 4*iters || mem.storeBytes != 4*iters*vec {
+		t.Fatalf("stores = %d (%d B), want %d (%d B)", mem.stores, mem.storeBytes, 4*iters, 4*iters*vec)
+	}
+	if mem.loads != 6*iters || mem.loadBytes != 6*iters*vec {
+		t.Fatalf("loads = %d (%d B), want %d (%d B)", mem.loads, mem.loadBytes, 6*iters, 6*iters*vec)
+	}
+	if ratio := float64(mem.loadBytes) / float64(mem.storeBytes); ratio != 1.5 {
+		t.Fatalf("load:store byte ratio = %v, want exactly 1.5", ratio)
+	}
+}
+
 func TestCorruptionDetected(t *testing.T) {
 	mem := &flatMemory{b: make([]byte, 1<<16)}
 	r := New(mem, 0, 64)

@@ -53,8 +53,14 @@ func TestExperimentRegistryComplete(t *testing.T) {
 			t.Fatalf("experiment %q missing from registry", n)
 		}
 	}
+	// Every listed experiment carries a usable one-line description.
+	for _, e := range ExperimentList() {
+		if e.Desc == "" {
+			t.Fatalf("experiment %q has no description", e.Name)
+		}
+	}
 	// The registry must cover every table and figure of the evaluation.
-	for _, want := range []string{"table1", "table2", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "aging", "mixed", "lru", "windows"} {
+	for _, want := range []string{"table1", "table2", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "aging", "mixed", "lru", "windows", "pool"} {
 		found := false
 		for _, n := range names {
 			if n == want {
