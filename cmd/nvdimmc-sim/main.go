@@ -11,6 +11,11 @@
 // independent NVDIMM-C modules behind an interleaved decoder and an
 // open-loop front-end scheduler (see internal/pool). -rate sets the
 // open-loop arrival rate in ops per simulated second (0 = saturating).
+// -spares adds hot-spare modules, and -faults arms seeded fault schedules
+// on individual members:
+//
+//	nvdimmc-sim -channels 3 -spares 1 -faults 0:program:1 -rw randwrite -ops 500
+//	nvdimmc-sim -channels 2 -faults "0:mediaread:5,1:dietimeout:0" -ops 900
 package main
 
 import (
@@ -18,9 +23,12 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strconv"
+	"strings"
 
 	"nvdimmc"
 	"nvdimmc/internal/core"
+	"nvdimmc/internal/fault"
 	"nvdimmc/internal/pool"
 	"nvdimmc/internal/workload/fio"
 	"nvdimmc/internal/workload/openloop"
@@ -39,10 +47,12 @@ func main() {
 	dimms := flag.Int("dimms", 1, "pooled socket: DIMMs per channel")
 	interleave := flag.Int64("interleave", 4096, "pooled socket: interleave granularity in bytes (e.g. 4096, 2097152)")
 	rate := flag.Float64("rate", 0, "pooled socket: open-loop arrival rate in ops per simulated second (0 = saturating)")
+	spares := flag.Int("spares", 0, "pooled socket: hot-spare modules for quarantine failover")
+	faults := flag.String("faults", "", "pooled socket: comma-separated member:kind:nth fault schedules (kind: program | mediaread | dietimeout | ackdrop; nth = site occurrence the schedule starts at, 0 = 1)")
 	flag.Parse()
 
-	if *channels > 1 || *dimms > 1 {
-		runPool(*channels, *dimms, *interleave, *rate, *rw, *bs, *ops)
+	if *channels > 1 || *dimms > 1 || *spares > 0 || *faults != "" {
+		runPool(*channels, *dimms, *interleave, *rate, *rw, *bs, *ops, *spares, *faults)
 		return
 	}
 
@@ -127,9 +137,66 @@ func main() {
 	}
 }
 
+// faultSpec is one parsed -faults entry: arm <kind> on member <member>
+// starting at the site's <nth> consultation.
+type faultSpec struct {
+	member int
+	kind   string
+	nth    uint64
+}
+
+// parseFaults parses the -faults flag: "member:kind:nth[,member:kind:nth...]".
+func parseFaults(spec string) []faultSpec {
+	var out []faultSpec
+	for _, part := range strings.Split(spec, ",") {
+		f := strings.Split(strings.TrimSpace(part), ":")
+		if len(f) != 3 {
+			fmt.Fprintf(os.Stderr, "nvdimmc-sim: bad -faults entry %q (want member:kind:nth)\n", part)
+			os.Exit(2)
+		}
+		member, err1 := strconv.Atoi(f[0])
+		nth, err2 := strconv.ParseUint(f[2], 10, 64)
+		if err1 != nil || err2 != nil || member < 0 {
+			fmt.Fprintf(os.Stderr, "nvdimmc-sim: bad -faults entry %q: member and nth must be non-negative integers\n", part)
+			os.Exit(2)
+		}
+		if nth == 0 {
+			nth = 1
+		}
+		switch f[1] {
+		case "program", "mediaread", "dietimeout", "ackdrop":
+		default:
+			fmt.Fprintf(os.Stderr, "nvdimmc-sim: unknown fault kind %q (want program | mediaread | dietimeout | ackdrop)\n", f[1])
+			os.Exit(2)
+		}
+		out = append(out, faultSpec{member: member, kind: f[1], nth: nth})
+	}
+	return out
+}
+
+// armSpecs arms the parsed fault schedules on one member's registry.
+func armSpecs(specs []faultSpec, member int, g *fault.Registry) {
+	for _, sp := range specs {
+		if sp.member != member {
+			continue
+		}
+		switch sp.kind {
+		case "program":
+			g.OnOccurrence(fault.NANDProgramFail, sp.nth).Times(1 << 30)
+		case "mediaread":
+			g.OnOccurrence(fault.NANDReadBitFlip, sp.nth).Times(300)
+		case "dietimeout":
+			g.Prob(fault.NANDDieTimeout, 0.25).Param(400)
+		case "ackdrop":
+			g.OnOccurrence(fault.CPAckDrop, sp.nth).Times(12)
+		}
+	}
+}
+
 // runPool drives the interleaved multi-channel pool with a single-tenant
-// open-loop stream and prints the pooled and per-channel stats.
-func runPool(channels, dimms int, interleave int64, rate float64, rw string, bs, ops int) {
+// open-loop stream and prints the pooled and per-channel stats. With -spares
+// or -faults it also prints the end-of-run member state table.
+func runPool(channels, dimms int, interleave int64, rate float64, rw string, bs, ops, spares int, faults string) {
 	readPct := 0 // openloop default: read-only
 	switch rw {
 	case "randread":
@@ -139,38 +206,97 @@ func runPool(channels, dimms int, interleave int64, rate float64, rw string, bs,
 		fmt.Fprintf(os.Stderr, "nvdimmc-sim: pooled mode supports -rw randread|randwrite, not %q\n", rw)
 		os.Exit(2)
 	}
-	p, err := pool.New(pool.Config{
+	specs := []faultSpec(nil)
+	member := nvdimmc.DefaultConfig()
+	walk := int64(15 << 30)
+	if faults != "" {
+		specs = parseFaults(faults)
+		// Fault sites live on NAND and the CP transport, which a paper-scale
+		// member at a cache-resident footprint never touches; shrink the
+		// module and run near capacity so misses map pages onto media.
+		member.CacheBytes = 1 << 20
+		member.NAND.BlocksPerDie = 32
+		member.NAND.PagesPerBlock = 16
+		// Surface NAND program failures to the driver instead of letting the
+		// FTL absorb them, and drop the auditor: it does not model deferred
+		// program acks under pipelined load.
+		member.NVMC.AckAfterProgram = true
+		member.Audit = false
+		walk = 0
+	}
+	cfg := pool.Config{
 		Channels:        channels,
 		DIMMsPerChannel: dimms,
 		Interleave:      interleave,
-		Member:          nvdimmc.DefaultConfig(),
+		Member:          member,
 		Workers:         runtime.GOMAXPROCS(0),
 		Seed:            7,
 		PrefillPages:    -1,
-		WalkFootprint:   15 << 30,
-	})
+		WalkFootprint:   walk,
+		Spares:          spares,
+	}
+	if specs != nil {
+		cfg.ArmFaults = func(m int, g *fault.Registry) { armSpecs(specs, m, g) }
+	}
+	p, err := pool.New(cfg)
 	die(err)
+	foot := p.CachedFootprint()
+	if faults != "" {
+		foot = p.Capacity() - p.Capacity()%interleave
+	}
 	gen, err := openloop.New(openloop.Config{
 		Seed:       7,
 		RatePerSec: rate,
 		Tenants: []openloop.Tenant{
 			{Name: "cli", Dist: openloop.Uniform, ReadPct: readPct,
-				BlockSize: bs, Footprint: p.CachedFootprint()},
+				BlockSize: bs, Footprint: foot},
 		},
 	})
 	die(err)
 	die(p.RunOpenLoop(gen, ops))
 	s := p.Stats()
-	fmt.Printf("pool: %d channels x %d DIMMs, interleave %d B, capacity %d MB\n",
-		channels, dimms, interleave, p.Capacity()>>20)
+	fmt.Printf("pool: %d channels x %d DIMMs (+%d spare), interleave %d B, capacity %d MB\n",
+		channels, dimms, spares, interleave, p.Capacity()>>20)
 	fmt.Printf("requests=%d bw=%.0f MB/s epochs=%d held-peak=%d\n",
 		s.Completed, s.Meter.BandwidthMBps(), s.Epochs, s.HeldPeak)
 	fmt.Printf("latency: p50=%v p95=%v p99=%v p999=%v max=%v\n",
 		s.Lat.Percentile(50), s.Lat.Percentile(95),
 		s.Lat.Percentile(99), s.Lat.Percentile(99.9), s.Lat.Max())
 	for i, ch := range s.PerChannel {
-		fmt.Printf("ch%d: reqs=%d bytes=%d p99=%v\n",
-			i, ch.Lat.Count(), ch.Meter.Bytes(), ch.Lat.Percentile(99))
+		fmt.Printf("ch%d: reqs=%d bytes=%d p99=%v breaker=%s\n",
+			i, ch.Lat.Count(), ch.Meter.Bytes(), ch.Lat.Percentile(99), ch.Breaker)
+	}
+	if spares > 0 || faults != "" {
+		fmt.Printf("faults: failed=%d retries=%d trips=%d suspects=%d quarantined=%d evacuated=%d spares-used=%d rebuild-pages=%d post-quarantine=%d\n",
+			s.Failed, s.Ctr.Get("frags-retried"), s.Ctr.Get("breaker-trip"),
+			s.Ctr.Get("member-suspect"), s.Quarantined, s.Evacuated,
+			s.SparesUsed, s.Ctr.Get("rebuild-pages"), s.PostQuarantineDispatches)
+		fmt.Printf("writes: in=%d acked=%d failed=%d lost=%d\n",
+			s.WritesIn, s.WritesAcked, s.WritesFailed,
+			s.WritesIn-s.WritesAcked-s.WritesFailed)
+		fmt.Println("members:")
+		for i, m := range s.PerMember {
+			// InService/Logical are only tracked for spares that took over a
+			// position; a data member serves its own logical slot until it is
+			// quarantined or evacuated.
+			role, svc := "data", "out-of-service"
+			if m.Spare {
+				role = "spare"
+				if m.InService {
+					svc = fmt.Sprintf("serving ch%d", m.Logical)
+				} else {
+					svc = "standby"
+				}
+			} else if m.State == pool.StateUp || m.State == pool.StateSuspect {
+				svc = fmt.Sprintf("serving ch%d", i)
+			}
+			reason := ""
+			if m.Reason != "" {
+				reason = "  reason=" + m.Reason
+			}
+			fmt.Printf("  m%d %-5s %-11v mode=%-9v derr=%-4d ferr=%-3d %s%s\n",
+				i, role, m.State, m.Mode, m.DriverErrors, m.FragErrors, svc, reason)
+		}
 	}
 	die(p.CheckHealth())
 	fmt.Println("health ok")

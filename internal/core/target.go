@@ -54,8 +54,27 @@ func (t *FioTarget) ThreadCPU(n int, write bool) sim.Duration {
 	return t.cost.DispatchCPU(n, write, t.walkFootprint)
 }
 
-// Do performs the device part of one op.
+// Do performs the device part of one op. It keeps the legacy error-free
+// signature for fault-free workloads: any driver failure panics. Schedulers
+// that must survive injected failures — the pool's fault-tolerant front end
+// — dispatch through DoE instead.
 func (t *FioTarget) Do(off int64, n int, write bool, done func()) {
+	t.DoE(off, n, write, func(err error) {
+		if err != nil {
+			panic(fmt.Sprintf("core: fio op [%d,%d): %v", off, off+int64(n), err))
+		}
+		done()
+	})
+}
+
+// DoE is Do with driver errors surfaced to done instead of panicking: a
+// member that goes read-only, exhausts its CP retries or hits uncorrectable
+// media mid-run fails the op with the driver's typed error (wrapping
+// nvdc.ErrReadOnly, nvdc.ErrMediaRead or a *nvdc.CPTimeoutError) so the
+// caller can retry, reroute or quarantine instead of wedging. On error the
+// pages before the failing one have been faulted in; the transfer itself is
+// all-or-nothing.
+func (t *FioTarget) DoE(off int64, n int, write bool, done func(error)) {
 	if off < 0 || off+int64(n) > t.Capacity() {
 		panic(fmt.Sprintf("core: fio op [%d,%d) outside device", off, off+int64(n)))
 	}
@@ -67,10 +86,16 @@ func (t *FioTarget) Do(off int64, n int, write bool, done func()) {
 		var faultPage func(lpn int64)
 		faultPage = func(lpn int64) {
 			if lpn > last {
-				t.transfer(off, n, write, done)
+				t.transfer(off, n, write, func() { done(nil) })
 				return
 			}
-			s.Driver.Fault(lpn, write, func(int) { faultPage(lpn + 1) })
+			s.Driver.FaultE(lpn, write, func(_ int, err error) {
+				if err != nil {
+					done(err)
+					return
+				}
+				faultPage(lpn + 1)
+			})
 		}
 		faultPage(first)
 	})

@@ -378,6 +378,17 @@ func (c *Counters) Merge(o *Counters) {
 	}
 }
 
+// Sum returns the total of the named counters (names never touched count
+// zero). Health probes use it to fold a family of error counters into one
+// rate-comparable figure.
+func (c *Counters) Sum(names ...string) uint64 {
+	var t uint64
+	for _, n := range names {
+		t += c.m[n]
+	}
+	return t
+}
+
 // NonZero reports whether any of the given counters is nonzero, returning
 // the first offender's name and value.
 func (c *Counters) NonZero(names ...string) (string, uint64, bool) {

@@ -343,3 +343,15 @@ func TestHistogramString(t *testing.T) {
 		t.Fatal("empty string")
 	}
 }
+
+func TestCountersSum(t *testing.T) {
+	c := NewCounters()
+	c.Add("a", 3)
+	c.Add("b", 5)
+	if got := c.Sum("a", "b", "missing"); got != 8 {
+		t.Fatalf("Sum = %d, want 8 (missing names count zero)", got)
+	}
+	if got := c.Sum(); got != 0 {
+		t.Fatalf("empty Sum = %d, want 0", got)
+	}
+}

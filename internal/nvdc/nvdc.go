@@ -16,6 +16,7 @@ package nvdc
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"nvdimmc/internal/cp"
 	"nvdimmc/internal/cpucache"
@@ -358,6 +359,60 @@ func (d *Driver) Stats() Stats {
 
 // Counters exposes the error/retry/degradation event counters.
 func (d *Driver) Counters() *metrics.Counters { return d.errs }
+
+// Health is an exported point-in-time snapshot of the driver's degradation
+// state, shaped for layered health checks: the socket pool's member probes
+// fold it — together with the conformance auditor's violation count — into
+// the pool-level member state machine without reaching into driver
+// internals.
+type Health struct {
+	// Mode is the Healthy -> Degraded -> ReadOnly lattice position.
+	Mode Mode
+	// SlotsQuarantined counts DRAM cache slots retired after hard failures.
+	SlotsQuarantined int
+	// HardFailures counts unrecoverable command failures (cachefill or
+	// writeback exhausted its retries): any nonzero value means the driver
+	// has degraded and some data path is gone.
+	HardFailures uint64
+	// Transients counts recovered error events (ack timeouts, CP re-issues,
+	// checksum rejects, cachefill read-retries): noise that a health prober
+	// treats as suspicion, not failure.
+	Transients uint64
+	// ErrorEvents is the sum over every error-path counter
+	// (ErrorCounterNames); deltas between probes measure error rate.
+	ErrorEvents uint64
+}
+
+// Health snapshots the driver's degradation state.
+func (d *Driver) Health() Health {
+	return Health{
+		Mode:             d.mode,
+		SlotsQuarantined: len(d.quarantined),
+		HardFailures:     d.errs.Sum(CtrCachefillFail, CtrWritebackFail),
+		Transients:       d.errs.Sum(CtrAckTimeout, CtrAckChecksumBad, CtrCPReissue, CtrCachefillRetry),
+		ErrorEvents:      d.errs.Sum(ErrorCounterNames()...),
+	}
+}
+
+// ResidentPage describes one DRAM-cache-resident page: what a rebuild scan
+// must replay onto a replacement module to evacuate this one.
+type ResidentPage struct {
+	LPN   int64
+	Dirty bool
+}
+
+// Resident returns the resident pages in ascending LPN order. The mapping is
+// map-backed, so the sort is what makes evacuation scans deterministic — the
+// pool's spare-DIMM rebuild iterates this slice in order and replays it
+// through the spare's write path.
+func (d *Driver) Resident() []ResidentPage {
+	out := make([]ResidentPage, 0, len(d.mapping))
+	for lpn, slot := range d.mapping {
+		out = append(out, ResidentPage{LPN: lpn, Dirty: d.slots[slot].dirty})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].LPN < out[j].LPN })
+	return out
+}
 
 // Mode reports the driver's degradation state.
 func (d *Driver) Mode() Mode { return d.mode }

@@ -454,7 +454,14 @@ func (c *Controller) doReadData(f *cmdFSM) {
 			return
 		}
 		f.ready = false
-		c.k.Schedule(sim.Duration(c.windowEnd.Sub(c.k.Now()))+c.cfg.FirmwareDecode/2, func() {
+		// With AckAfterProgram, advance() runs from the program-completion
+		// callback, which can land long after the refresh window this
+		// command started in; the window wait is then already over.
+		wait := sim.Duration(c.windowEnd.Sub(c.k.Now()))
+		if wait < 0 {
+			wait = 0
+		}
+		c.k.Schedule(wait+c.cfg.FirmwareDecode/2, func() {
 			f.state = engAck
 			f.ready = true
 		})

@@ -1,0 +1,123 @@
+package pool
+
+import "nvdimmc/internal/metrics"
+
+// breakerState is the classic three-state circuit-breaker FSM, clocked
+// entirely off epoch boundaries: observations are folded in at collect()
+// (canonical order) and transitions happen in tick() at the boundary, so the
+// breaker is byte-identical at any worker count.
+type breakerState int
+
+const (
+	breakerClosed breakerState = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+func (s breakerState) String() string {
+	switch s {
+	case breakerClosed:
+		return "closed"
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	}
+	return "?"
+}
+
+// breaker guards one channel's dispatch path. Closed: dispatch freely while
+// counting failures over a sliding window of BreakerWindow epochs; trip to
+// Open when the window holds >= BreakerMinSamples observations and the
+// failure fraction reaches BreakerErrRate. Open: dispatch nothing for
+// BreakerCooldown epochs (doubled on each consecutive reopen, capped at 8x),
+// then go HalfOpen. HalfOpen: allow BreakerProbes dispatches per epoch; any
+// failure reopens, BreakerCloseStreak consecutive successes close.
+//
+// A "failure" is a fragment completing with an error, or — when
+// BreakerLatency > 0 — completing slower than that bound.
+type breaker struct {
+	cfg *Config
+	ctr *metrics.Counters
+
+	state    breakerState
+	winTotal int // observations in the current closed window
+	winFail  int
+	winLeft  int // epochs left in the current closed window
+	cooldown int // epochs left before Open goes HalfOpen
+	coolBase int // current (escalated) cooldown length
+	streak   int // consecutive half-open successes
+}
+
+func newBreaker(cfg *Config, ctr *metrics.Counters) *breaker {
+	return &breaker{cfg: cfg, ctr: ctr, winLeft: cfg.BreakerWindow, coolBase: cfg.BreakerCooldown}
+}
+
+// budget returns how many fragments fill() may dispatch this epoch. Closed
+// is unbounded (the in-flight window is the real cap); Open admits nothing;
+// HalfOpen admits the probe allowance.
+func (b *breaker) budget() int {
+	switch b.state {
+	case breakerOpen:
+		return 0
+	case breakerHalfOpen:
+		return b.cfg.BreakerProbes
+	}
+	return int(^uint(0) >> 1)
+}
+
+// observe folds one completed fragment into the FSM. Called at collect() in
+// canonical order. Completions that land while Open are stragglers
+// dispatched before the trip; they carry no new signal and are ignored.
+func (b *breaker) observe(failed bool) {
+	switch b.state {
+	case breakerClosed:
+		b.winTotal++
+		if failed {
+			b.winFail++
+		}
+	case breakerHalfOpen:
+		if failed {
+			b.state = breakerOpen
+			if b.coolBase < 8*b.cfg.BreakerCooldown {
+				b.coolBase *= 2
+			}
+			b.cooldown = b.coolBase
+			b.streak = 0
+			b.ctr.Inc("breaker-reopen")
+			return
+		}
+		b.streak++
+		if b.streak >= b.cfg.BreakerCloseStreak {
+			b.state = breakerClosed
+			b.winTotal, b.winFail, b.winLeft = 0, 0, b.cfg.BreakerWindow
+			b.coolBase = b.cfg.BreakerCooldown
+			b.ctr.Inc("breaker-close")
+		}
+	}
+}
+
+// tick advances the FSM one epoch at the boundary (after observe folding).
+func (b *breaker) tick() {
+	switch b.state {
+	case breakerClosed:
+		b.winLeft--
+		if b.winLeft > 0 {
+			return
+		}
+		if b.winTotal >= b.cfg.BreakerMinSamples &&
+			float64(b.winFail) >= b.cfg.BreakerErrRate*float64(b.winTotal) {
+			b.state = breakerOpen
+			b.cooldown = b.coolBase
+			b.ctr.Inc("breaker-trip")
+		}
+		b.winTotal, b.winFail, b.winLeft = 0, 0, b.cfg.BreakerWindow
+	case breakerOpen:
+		b.cooldown--
+		if b.cooldown <= 0 {
+			b.state = breakerHalfOpen
+			b.streak = 0
+			b.ctr.Inc("breaker-halfopen")
+		}
+	}
+}

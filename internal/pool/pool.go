@@ -35,12 +35,15 @@
 package pool
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
 
 	"nvdimmc/internal/core"
+	"nvdimmc/internal/fault"
 	"nvdimmc/internal/metrics"
+	"nvdimmc/internal/nvdc"
 	"nvdimmc/internal/sim"
 	"nvdimmc/internal/workload/fio"
 	"nvdimmc/internal/workload/openloop"
@@ -85,6 +88,52 @@ type Config struct {
 	WalkFootprint int64
 	// MaxEpochs guards Run against a wedged pool (default 1<<22 epochs).
 	MaxEpochs int
+
+	// Spares adds hot-spare members beyond Channels x DIMMsPerChannel. They
+	// are constructed and prefilled like every other member but receive no
+	// traffic until a quarantined member's logical position fails over.
+	Spares int
+	// FaultSeed, when nonzero, arms a seeded fault registry per member
+	// (split per member index, so schedules are independent and worker-count
+	// invariant). Zero keeps every member fault-free.
+	FaultSeed uint64
+	// ArmFaults, when non-nil, is called once per member after its prefill
+	// (so prefill traffic never trips rules) to install that member's fault
+	// schedule. It may run concurrently across members during New; touch
+	// only the given registry. Setting it with FaultSeed == 0 defaults
+	// FaultSeed to Seed.
+	ArmFaults func(member int, reg *fault.Registry)
+
+	// ProbeEvery runs the member health probe every this many epochs
+	// (default 4).
+	ProbeEvery int
+	// SuspectClearProbes is how many consecutive clean probes return a
+	// Suspect member to Up (default 4).
+	SuspectClearProbes int
+	// QuarantineFragErrs quarantines a member once this many of its
+	// dispatched fragments have failed (default 8).
+	QuarantineFragErrs int
+
+	// MaxRetries caps per-fragment redispatch attempts before the request
+	// fails with ErrPoolDegraded (default 4; negative disables retries).
+	MaxRetries int
+	// RetryBackoffEpochs is the first retry delay in epochs (default 1);
+	// it doubles per attempt up to RetryBackoffCap (default 8).
+	RetryBackoffEpochs int
+	RetryBackoffCap    int
+
+	// RebuildPagesPerEpoch rate-limits the background rebuild (default 8
+	// page copies per epoch per job).
+	RebuildPagesPerEpoch int
+
+	// Per-channel circuit breaker thresholds; see type breaker.
+	BreakerWindow      int          // epochs per closed-state window (default 8)
+	BreakerMinSamples  int          // min observations to evaluate a window (default 8)
+	BreakerErrRate     float64      // failure fraction that trips (default 0.5)
+	BreakerCooldown    int          // epochs open before half-open (default 16)
+	BreakerProbes      int          // half-open dispatches per epoch (default 2)
+	BreakerCloseStreak int          // half-open successes to close (default 8)
+	BreakerLatency     sim.Duration // completions slower than this count as failures (0 disables)
 }
 
 // DefaultConfig returns a laptop-scale pool: 1 channel x 1 DIMM of the
@@ -127,6 +176,54 @@ func (c *Config) fillDefaults() error {
 	if c.Seed == 0 {
 		c.Seed = 1
 	}
+	if c.Spares < 0 {
+		return fmt.Errorf("pool: %d spares", c.Spares)
+	}
+	if c.ArmFaults != nil && c.FaultSeed == 0 {
+		c.FaultSeed = c.Seed
+	}
+	if c.ProbeEvery <= 0 {
+		c.ProbeEvery = 4
+	}
+	if c.SuspectClearProbes <= 0 {
+		c.SuspectClearProbes = 4
+	}
+	if c.QuarantineFragErrs <= 0 {
+		c.QuarantineFragErrs = 8
+	}
+	if c.MaxRetries == 0 {
+		c.MaxRetries = 4
+	}
+	if c.MaxRetries < 0 {
+		c.MaxRetries = 0
+	}
+	if c.RetryBackoffEpochs <= 0 {
+		c.RetryBackoffEpochs = 1
+	}
+	if c.RetryBackoffCap <= 0 {
+		c.RetryBackoffCap = 8
+	}
+	if c.RebuildPagesPerEpoch <= 0 {
+		c.RebuildPagesPerEpoch = 8
+	}
+	if c.BreakerWindow <= 0 {
+		c.BreakerWindow = 8
+	}
+	if c.BreakerMinSamples <= 0 {
+		c.BreakerMinSamples = 8
+	}
+	if c.BreakerErrRate <= 0 {
+		c.BreakerErrRate = 0.5
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = 16
+	}
+	if c.BreakerProbes <= 0 {
+		c.BreakerProbes = 2
+	}
+	if c.BreakerCloseStreak <= 0 {
+		c.BreakerCloseStreak = 8
+	}
 	return nil
 }
 
@@ -138,20 +235,34 @@ type request struct {
 	remaining int
 	lastDone  sim.Time
 	channel0  int // channel of the first fragment: latency attribution
+	// err is the first terminal fragment error; a request finishing with
+	// err != nil counts as failed (typed), never as completed.
+	err error
 }
 
-// fragment is the per-member piece of a request.
+// fragment is the per-member piece of a request. member is the LOGICAL
+// index the decoder assigned; the route table resolves it to a physical
+// member at dispatch, so failover retargets queued fragments transparently.
 type fragment struct {
-	req    *request
-	member int
-	off    int64
-	n      int
+	req      *request
+	member   int
+	off      int64
+	n        int
+	attempts int
 }
 
 // completion is recorded by a member mid-epoch, drained at the boundary.
 type completion struct {
 	frag *fragment
+	phys int // physical member that served it (error attribution)
 	at   sim.Time
+	err  error
+}
+
+// retryEntry is a failed fragment waiting out its backoff.
+type retryEntry struct {
+	f     *fragment
+	ready int // epoch number at which it re-enters admission
 }
 
 // member is one (channel, DIMM) system.
@@ -162,6 +273,8 @@ type member struct {
 	// done accumulates completions during an epoch; only this member's
 	// worker touches it until the barrier.
 	done []completion
+	// rdone accumulates rebuild-op completions the same way.
+	rdone []rebuildEvent
 }
 
 // channelState is the front-end's per-channel scheduler state.
@@ -169,6 +282,7 @@ type channelState struct {
 	pending  []*fragment // admission-held, FIFO (unbounded: backpressure, never drop)
 	queue    []*fragment // dispatchable batch, <= QueueCap
 	inflight int         // dispatched fragments not yet collected
+	brk      *breaker
 	lat      *metrics.Histogram
 	meter    *metrics.Meter
 	ctr      *metrics.Counters
@@ -184,12 +298,33 @@ type Pool struct {
 	epoch0  sim.Time
 	now     sim.Time
 
+	// Fault-tolerance state: all boundary-only (single-threaded).
+	health     []*memberHealth // per physical member
+	route      []int           // logical index -> physical member
+	retries    []retryEntry
+	rebuilds   []*rebuildJob
+	ctrPool    *metrics.Counters  // pool-level fault/failover counters
+	latRebuild *metrics.Histogram // request latencies landed while a rebuild ran
+
 	submitted uint64
 	completed uint64
+	failed    uint64
 	writesIn  uint64
 	writesAck uint64
-	epochs    int
-	heldPeak  int
+	// writesFailed counts writes that terminated with a typed error: they
+	// were never acked, so they are not lost — the submitter was told.
+	writesFailed uint64
+	// untypedFailures counts requests that failed without ErrPoolDegraded /
+	// ErrMemberQuarantined in the chain; CheckHealth demands zero.
+	untypedFailures uint64
+	// postQuarantine counts front-end dispatches that reached a quarantined
+	// member; probe-before-fill ordering makes this structurally zero and
+	// CheckHealth asserts it.
+	postQuarantine uint64
+	sparesUsed     int
+	firstFailure   error
+	epochs         int
+	heldPeak       int
 }
 
 // New assembles Channels x DIMMsPerChannel member systems (in parallel when
@@ -200,11 +335,15 @@ func New(cfg Config) (*Pool, error) {
 		return nil, err
 	}
 	n := cfg.Channels * cfg.DIMMsPerChannel
-	p := &Pool{Cfg: cfg, members: make([]*member, n)}
-	errs := make([]error, n)
-	parallelEach(n, cfg.Workers, func(i int) {
+	total := n + cfg.Spares
+	p := &Pool{Cfg: cfg, members: make([]*member, total)}
+	errs := make([]error, total)
+	parallelEach(total, cfg.Workers, func(i int) {
 		mcfg := cfg.Member
 		mcfg.Seed = sim.SplitSeed(cfg.Seed, fmt.Sprintf("pool/member-%02d", i))
+		if cfg.FaultSeed != 0 {
+			mcfg.FaultSeed = sim.SplitSeed(cfg.FaultSeed, fmt.Sprintf("pool/fault-%02d", i))
+		}
 		sys, err := core.NewSystem(mcfg)
 		if err != nil {
 			errs[i] = fmt.Errorf("member %d: %w", i, err)
@@ -220,6 +359,10 @@ func New(cfg Config) (*Pool, error) {
 				errs[i] = fmt.Errorf("member %d prefill: %w", i, err)
 				return
 			}
+		}
+		// Arm after prefill so the warm-up never trips injected faults.
+		if cfg.ArmFaults != nil && sys.Faults != nil {
+			cfg.ArmFaults(i, sys.Faults)
 		}
 		if cfg.WalkFootprint > 0 {
 			tgt.SetWalkFootprint(cfg.WalkFootprint)
@@ -240,7 +383,8 @@ func New(cfg Config) (*Pool, error) {
 	// Seeded media models mark different bad blocks per member, so usable
 	// capacities differ slightly; the pool addresses the least common
 	// capacity, rounded down to whole stripes — as a BIOS interleaving
-	// mismatched DIMMs would.
+	// mismatched DIMMs would. Spares are included in the min so any spare
+	// can host any logical position's stripes.
 	memberCap := p.members[0].tgt.Capacity()
 	for _, m := range p.members[1:] {
 		if c := m.tgt.Capacity(); c < memberCap {
@@ -257,6 +401,21 @@ func New(cfg Config) (*Pool, error) {
 	}
 	p.Dec = dec
 
+	p.health = make([]*memberHealth, total)
+	p.route = make([]int, n)
+	for i := range p.health {
+		h := &memberHealth{logical: -1}
+		if i < n {
+			h.logical = i
+			p.route[i] = i
+		} else {
+			h.spare = true
+		}
+		p.health[i] = h
+	}
+	p.ctrPool = metrics.NewCounters()
+	p.latRebuild = metrics.NewHistogram()
+
 	// Boot and prefill advance each member by a slightly different amount
 	// (seeded media models differ); align all clocks on the latest.
 	for _, m := range p.members {
@@ -271,10 +430,12 @@ func New(cfg Config) (*Pool, error) {
 
 	p.chans = make([]*channelState, cfg.Channels)
 	for i := range p.chans {
+		ctr := metrics.NewCounters()
 		p.chans[i] = &channelState{
+			brk:   newBreaker(&p.Cfg, ctr),
 			lat:   metrics.NewHistogram(),
 			meter: metrics.NewMeter(p.epoch0),
-			ctr:   metrics.NewCounters(),
+			ctr:   ctr,
 		}
 	}
 	return p, nil
@@ -295,7 +456,7 @@ func (p *Pool) CachedFootprint() int64 {
 	if groups > p.Dec.groupCount {
 		groups = p.Dec.groupCount
 	}
-	return groups * p.Cfg.Interleave * int64(len(p.members))
+	return groups * p.Cfg.Interleave * int64(p.Dec.Members())
 }
 
 // channelOf maps a member index to its channel: the decoder interleaves
@@ -330,7 +491,11 @@ func (p *Pool) submit(r openloop.Request) {
 }
 
 // fill refills a channel's queue from its held list, then dispatches queued
-// fragments into the in-flight window.
+// fragments into the in-flight window, subject to the channel breaker's
+// budget. A queued fragment whose routed member is quarantined (possible
+// only when no spare covered the position) is rejected with a typed error —
+// rejection consumes neither window slots nor breaker budget, so an open
+// breaker cannot wedge the queue behind undeliverable fragments.
 func (p *Pool) fill(ci int) {
 	ch := p.chans[ci]
 	for len(ch.pending) > 0 && len(ch.queue) < p.Cfg.QueueCap {
@@ -338,9 +503,20 @@ func (p *Pool) fill(ci int) {
 		ch.pending = ch.pending[1:]
 		ch.ctr.Inc("frags-admitted")
 	}
+	budget := ch.brk.budget()
 	dispatched := false
-	for ch.inflight < p.Cfg.Window && len(ch.queue) > 0 {
+	for len(ch.queue) > 0 {
 		f := ch.queue[0]
+		if phys := p.route[f.member]; p.health[phys].state >= StateQuarantined {
+			ch.queue = ch.queue[1:]
+			ch.ctr.Inc("frags-rejected")
+			p.fragFailed(f, fmt.Errorf("logical %d -> member %d: %w", f.member, phys, ErrMemberQuarantined), p.now)
+			continue
+		}
+		if ch.inflight >= p.Cfg.Window || budget <= 0 {
+			break
+		}
+		budget--
 		ch.queue = ch.queue[1:]
 		ch.inflight++
 		ch.ctr.Inc("frags-dispatched")
@@ -361,7 +537,13 @@ func (p *Pool) fill(ci int) {
 // callback runs mid-epoch on the member's worker and only touches
 // member-local state.
 func (p *Pool) dispatch(f *fragment) {
-	m := p.members[f.member]
+	phys := p.route[f.member]
+	if p.health[phys].state >= StateQuarantined {
+		// fill() filters these before dispatch; counted so CheckHealth can
+		// prove the reroute guarantee held.
+		p.postQuarantine++
+	}
+	m := p.members[phys]
 	at := f.req.arrival
 	if at < p.now {
 		at = p.now
@@ -371,39 +553,135 @@ func (p *Pool) dispatch(f *fragment) {
 	mm := m
 	frag := f
 	m.sys.K.ScheduleAt(at.Add(cpu), func() {
-		mm.tgt.Do(frag.off, frag.n, frag.req.write, func() {
-			mm.done = append(mm.done, completion{frag: frag, at: mm.sys.K.Now()})
+		mm.tgt.DoE(frag.off, frag.n, frag.req.write, func(err error) {
+			mm.done = append(mm.done, completion{frag: frag, phys: phys, at: mm.sys.K.Now(), err: err})
 		})
 	})
 }
 
 // collect drains every member's completions (member order, then completion
-// order — both deterministic), releasing window slots and finishing
-// requests.
+// order — both deterministic), releasing window slots, folding breaker
+// observations, and finishing or retrying requests. Rebuild-op completions
+// drain on the same pass; finished rebuild jobs are swept afterwards.
 func (p *Pool) collect() {
 	for _, m := range p.members {
 		for _, c := range m.done {
 			f := c.frag
 			ch := p.chans[p.channelOf(f.member)]
 			ch.inflight--
+			failed := c.err != nil ||
+				(p.Cfg.BreakerLatency > 0 && c.at.Sub(f.req.arrival) > p.Cfg.BreakerLatency)
+			ch.brk.observe(failed)
+			if c.err != nil {
+				p.health[c.phys].fragErrs++
+				ch.ctr.Inc("frag-errors")
+				p.fragFailed(f, c.err, c.at)
+				continue
+			}
 			ch.meter.Record(c.at, f.n)
 			ch.ctr.Inc("frags-completed")
-			r := f.req
-			if c.at > r.lastDone {
-				r.lastDone = c.at
-			}
-			r.remaining--
-			if r.remaining == 0 {
-				p.chans[r.channel0].lat.Record(r.lastDone.Sub(r.arrival))
-				p.chans[r.channel0].ctr.Inc("requests-completed")
-				p.completed++
-				if r.write {
-					p.writesAck++
+			p.requestPieceDone(f.req, c.at)
+		}
+		m.done = m.done[:0]
+		for _, e := range m.rdone {
+			j := e.job
+			j.outstanding--
+			if e.err != nil {
+				if e.write {
+					j.writeFail++
+					p.ctrPool.Inc("rebuild-write-fail")
+				} else {
+					j.readMiss++
+					p.ctrPool.Inc("rebuild-read-miss")
 				}
 			}
 		}
-		m.done = m.done[:0]
+		m.rdone = m.rdone[:0]
 	}
+	p.sweepRebuilds()
+}
+
+// fragFailed routes one failed (or quarantine-rejected) fragment: back into
+// the retry queue with capped exponential backoff while budget remains,
+// terminal otherwise. Terminal failures stamp the request with a typed
+// ErrPoolDegraded chain and count the piece done — the request will finish
+// as failed, never linger.
+func (p *Pool) fragFailed(f *fragment, err error, at sim.Time) {
+	ch := p.chans[p.channelOf(f.member)]
+	f.attempts++
+	if f.attempts <= p.Cfg.MaxRetries {
+		delay := p.Cfg.RetryBackoffEpochs << (f.attempts - 1)
+		if delay > p.Cfg.RetryBackoffCap {
+			delay = p.Cfg.RetryBackoffCap
+		}
+		p.retries = append(p.retries, retryEntry{f: f, ready: p.epochs + delay})
+		ch.ctr.Inc("frags-retried")
+		return
+	}
+	ch.ctr.Inc("frags-failed")
+	r := f.req
+	if r.err == nil {
+		r.err = fmt.Errorf("%w (%d attempts): %w", ErrPoolDegraded, f.attempts, err)
+	}
+	p.requestPieceDone(r, at)
+}
+
+// requestPieceDone retires one fragment outcome (success or terminal
+// failure) against its request and finishes the request when it was the
+// last: failed requests count typed, successful ones record latency — into
+// the rebuild-shadow histogram too while an evacuation is running.
+func (p *Pool) requestPieceDone(r *request, at sim.Time) {
+	if at > r.lastDone {
+		r.lastDone = at
+	}
+	r.remaining--
+	if r.remaining > 0 {
+		return
+	}
+	ch0 := p.chans[r.channel0]
+	if r.err != nil {
+		ch0.ctr.Inc("requests-failed")
+		p.failed++
+		if r.write {
+			p.writesFailed++
+		}
+		if p.firstFailure == nil {
+			p.firstFailure = r.err
+		}
+		if !errors.Is(r.err, ErrPoolDegraded) && !errors.Is(r.err, ErrMemberQuarantined) {
+			p.untypedFailures++
+		}
+		return
+	}
+	lat := r.lastDone.Sub(r.arrival)
+	ch0.lat.Record(lat)
+	if len(p.rebuilds) > 0 {
+		p.latRebuild.Record(lat)
+	}
+	ch0.ctr.Inc("requests-completed")
+	p.completed++
+	if r.write {
+		p.writesAck++
+	}
+}
+
+// promoteRetries re-admits backoff-expired fragments (retry-queue order,
+// behind any admission-held arrivals) before the epoch's fill pass.
+func (p *Pool) promoteRetries() {
+	if len(p.retries) == 0 {
+		return
+	}
+	keep := p.retries[:0]
+	for _, e := range p.retries {
+		if e.ready > p.epochs {
+			keep = append(keep, e)
+			continue
+		}
+		ch := p.chans[p.channelOf(e.f.member)]
+		ch.pending = append(ch.pending, e.f)
+		ch.ctr.Inc("frags-repromoted")
+	}
+	p.retries = keep
 }
 
 // Run drains requests from next (until it reports false) through the pool
@@ -434,15 +712,22 @@ func (p *Pool) Run(next func() (openloop.Request, bool)) error {
 			p.submit(*look)
 			look = nil
 		}
+		p.promoteRetries()
 		for ci := range p.chans {
 			p.fill(ci)
 		}
+		p.issueRebuilds()
 		parallelEach(len(p.members), p.Cfg.Workers, func(i int) {
 			p.members[i].sys.K.RunUntil(epochEnd)
 		})
 		p.collect()
+		p.probeMembers()
+		for _, ch := range p.chans {
+			ch.brk.tick()
+		}
 		p.now = epochEnd
-		if exhausted && look == nil && p.completed == p.submitted {
+		if exhausted && look == nil && p.completed+p.failed == p.submitted &&
+			len(p.retries) == 0 && len(p.rebuilds) == 0 {
 			return nil
 		}
 	}
@@ -464,18 +749,41 @@ func (p *Pool) RunOpenLoop(gen *openloop.Generator, count int) error {
 type Stats struct {
 	// Lat holds request latencies (arrival to last-fragment completion).
 	Lat *metrics.Histogram
+	// LatRebuild shadows Lat for requests that completed while a rebuild
+	// was active: the p99 here is the rebuild-interference tail.
+	LatRebuild *metrics.Histogram
 	// Meter aggregates completed bytes over the pooled measurement span
 	// (min start / max end across channels, not the double-counting sum).
 	Meter *metrics.Meter
-	// Ctr merges the per-channel scheduler counters.
+	// Ctr merges the per-channel scheduler counters and the pool-level
+	// fault/failover counters.
 	Ctr *metrics.Counters
 	// PerChannel carries each channel's own view, channel order.
 	PerChannel []ChannelStats
+	// PerMember carries each physical member's health view, member order
+	// (logical members first, then spares).
+	PerMember []MemberStats
 
-	Submitted   uint64
-	Completed   uint64
+	Submitted uint64
+	Completed uint64
+	// Failed counts requests that terminated with a typed error (retries
+	// exhausted or member quarantined with no spare). Completed + Failed ==
+	// Submitted once Run returns.
+	Failed      uint64
+	WritesIn    uint64
 	WritesAcked uint64
-	Epochs      int
+	// WritesFailed counts writes refused with a typed error before any ack:
+	// WritesAcked + WritesFailed == WritesIn means no acked write was lost.
+	WritesFailed uint64
+	// PostQuarantineDispatches must be zero: no fragment was dispatched to
+	// an already-quarantined member.
+	PostQuarantineDispatches uint64
+	Quarantined              int
+	Evacuated                int
+	SparesUsed               int
+	// FirstFailure samples the first terminal request error (nil when none).
+	FirstFailure error
+	Epochs       int
 	// HeldPeak is the deepest any channel's admission-held backlog got.
 	HeldPeak int
 }
@@ -485,26 +793,77 @@ type ChannelStats struct {
 	Lat   *metrics.Histogram
 	Meter *metrics.Meter
 	Ctr   *metrics.Counters
+	// Breaker is the channel breaker's final state (closed / open /
+	// half-open).
+	Breaker string
+}
+
+// MemberStats is one physical member's health view.
+type MemberStats struct {
+	State MemberState
+	Spare bool
+	// InService: a spare that took over a logical position.
+	InService bool
+	// Logical is the logical index currently routed here (-1 if none).
+	Logical int
+	// Mode is the member driver's degradation mode.
+	Mode nvdc.Mode
+	// DriverErrors totals the driver's error counters.
+	DriverErrors uint64
+	// FragErrors counts fragment dispatches that failed on this member.
+	FragErrors int
+	// Reason records why the member was quarantined ("" while serving).
+	Reason string
 }
 
 // Stats merges the per-channel stats into the pool view using the metrics
 // Merge primitives (no sample is re-recorded).
 func (p *Pool) Stats() Stats {
 	s := Stats{
-		Lat:         metrics.NewHistogram(),
-		Meter:       metrics.NewMeter(p.epoch0),
-		Ctr:         metrics.NewCounters(),
-		Submitted:   p.submitted,
-		Completed:   p.completed,
-		WritesAcked: p.writesAck,
-		Epochs:      p.epochs,
-		HeldPeak:    p.heldPeak,
+		Lat:                      metrics.NewHistogram(),
+		LatRebuild:               p.latRebuild,
+		Meter:                    metrics.NewMeter(p.epoch0),
+		Ctr:                      metrics.NewCounters(),
+		Submitted:                p.submitted,
+		Completed:                p.completed,
+		Failed:                   p.failed,
+		WritesIn:                 p.writesIn,
+		WritesAcked:              p.writesAck,
+		WritesFailed:             p.writesFailed,
+		PostQuarantineDispatches: p.postQuarantine,
+		SparesUsed:               p.sparesUsed,
+		FirstFailure:             p.firstFailure,
+		Epochs:                   p.epochs,
+		HeldPeak:                 p.heldPeak,
 	}
 	for _, ch := range p.chans {
 		s.Lat.Merge(ch.lat)
 		s.Meter.Merge(ch.meter)
 		s.Ctr.Merge(ch.ctr)
-		s.PerChannel = append(s.PerChannel, ChannelStats{Lat: ch.lat, Meter: ch.meter, Ctr: ch.ctr})
+		s.PerChannel = append(s.PerChannel, ChannelStats{
+			Lat: ch.lat, Meter: ch.meter, Ctr: ch.ctr, Breaker: ch.brk.state.String(),
+		})
+	}
+	s.Ctr.Merge(p.ctrPool)
+	for i, m := range p.members {
+		h := p.health[i]
+		switch h.state {
+		case StateQuarantined:
+			s.Quarantined++
+		case StateEvacuated:
+			s.Evacuated++
+		}
+		hs := m.sys.Driver.Health()
+		s.PerMember = append(s.PerMember, MemberStats{
+			State:        h.state,
+			Spare:        h.spare,
+			InService:    h.inService,
+			Logical:      h.logical,
+			Mode:         hs.Mode,
+			DriverErrors: hs.ErrorEvents,
+			FragErrors:   h.fragErrs,
+			Reason:       h.reason,
+		})
 	}
 	return s
 }
@@ -515,15 +874,33 @@ func (p *Pool) Member(i int) *core.System { return p.members[i].sys }
 // Members returns the member count.
 func (p *Pool) Members() int { return len(p.members) }
 
-// CheckHealth runs every member's CheckHealth and the pool's own
-// conservation invariants: every admitted request completed, every acked
-// write accounted, no fragment stranded in a queue or window.
+// CheckHealth runs every serving member's CheckHealth and the pool's own
+// conservation invariants: every admitted request completed or failed with
+// a typed error (nothing silently dropped), every write either acked or
+// typed-failed, no fragment stranded in a queue, window, retry queue or
+// rebuild, and no fragment dispatched to a quarantined member. Quarantined
+// and evacuated members are exempt from the per-member check — containing
+// their sickness is the pool's job, and it did.
 func (p *Pool) CheckHealth() error {
-	if p.completed != p.submitted {
-		return fmt.Errorf("pool: %d of %d requests incomplete", p.submitted-p.completed, p.submitted)
+	if p.completed+p.failed != p.submitted {
+		return fmt.Errorf("pool: %d of %d requests unaccounted",
+			p.submitted-p.completed-p.failed, p.submitted)
 	}
-	if p.writesAck != p.writesIn {
-		return fmt.Errorf("pool: %d writes admitted but %d acked", p.writesIn, p.writesAck)
+	if p.writesAck+p.writesFailed != p.writesIn {
+		return fmt.Errorf("pool: %d writes admitted but %d acked + %d typed-failed (acked-write loss)",
+			p.writesIn, p.writesAck, p.writesFailed)
+	}
+	if p.untypedFailures != 0 {
+		return fmt.Errorf("pool: %d requests failed without a typed error", p.untypedFailures)
+	}
+	if p.postQuarantine != 0 {
+		return fmt.Errorf("pool: %d fragments dispatched to quarantined members", p.postQuarantine)
+	}
+	if len(p.retries) != 0 {
+		return fmt.Errorf("pool: %d fragments stranded in retry backoff", len(p.retries))
+	}
+	if len(p.rebuilds) != 0 {
+		return fmt.Errorf("pool: %d rebuild jobs still active", len(p.rebuilds))
 	}
 	for i, ch := range p.chans {
 		if len(ch.pending) != 0 || len(ch.queue) != 0 || ch.inflight != 0 {
@@ -532,6 +909,9 @@ func (p *Pool) CheckHealth() error {
 		}
 	}
 	for i, m := range p.members {
+		if p.health[i].state >= StateQuarantined {
+			continue
+		}
 		if err := m.sys.CheckHealth(); err != nil {
 			return fmt.Errorf("pool: member %d: %w", i, err)
 		}

@@ -226,6 +226,25 @@ func Experiments(opts ExperimentOptions) map[string]func() error {
 			}
 			return err
 		},
+		"faultpool": func() error {
+			res, err := experiments.FaultPool(opts)
+			if err == nil {
+				hl("points", float64(res.Points()))
+				hl("acked-writes-lost", float64(res.AckedLostTotal()))
+				hl("post-quarantine-dispatches", float64(res.PostQuarantineTotal()))
+				hl("min-availability", res.MinAvailability())
+				hl("failover-points", float64(res.Failovers()))
+			}
+			if err == nil && res.AckedLostTotal() > 0 {
+				err = fmt.Errorf("faultpool: %d acked writes lost across %d points",
+					res.AckedLostTotal(), res.Points())
+			}
+			if err == nil && res.PostQuarantineTotal() > 0 {
+				err = fmt.Errorf("faultpool: %d fragments dispatched to quarantined members",
+					res.PostQuarantineTotal())
+			}
+			return err
+		},
 		"conformance": func() error {
 			res, err := experiments.Conformance(opts)
 			if err == nil {
@@ -274,6 +293,7 @@ func ExperimentList() []ExperimentInfo {
 		{"crash", "power-fail sweep: no acked write lost at any crash instant"},
 		{"conformance", "randomized DDR4 protocol conformance fuzzing (auditor-checked)"},
 		{"pool", "socket scaling: 1-6 interleaved channels under open-loop multi-tenant load"},
+		{"faultpool", "socket-scale fault campaign: quarantine, spare failover, rebuild, zero acked-write loss"},
 	}
 }
 
