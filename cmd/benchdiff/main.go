@@ -1,0 +1,146 @@
+// Command benchdiff compares two nvdimmc-bench -json snapshot files and
+// fails on regression, gating the perf trajectory in CI.
+//
+// Usage:
+//
+//	benchdiff [-wall-threshold 0.25] [-metric-threshold 0.25] BASELINE CANDIDATE
+//
+// Both inputs are JSON-lines files as written by nvdimmc-bench -json; the
+// last record per (experiment, quick) pair wins. Every baseline experiment
+// must appear in the candidate and have run cleanly. Two checks gate:
+//
+//   - Wall-clock: the candidate may not be slower than the baseline by more
+//     than -wall-threshold (relative). Wall time is machine-dependent, so
+//     this is a coarse tripwire for order-of-magnitude blowups (a wedged
+//     sweep, an accidental O(n^2) path), not a microbenchmark.
+//
+//   - Headline metrics: the simulator is deterministic, so a metric shared
+//     by both snapshots drifting more than -metric-threshold (relative)
+//     means the experiment's behavior changed — a real regression (or an
+//     intentional change that must re-commit the baseline).
+//
+// Exit status 1 lists every violation; 0 means the candidate holds the
+// baseline.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+)
+
+// record mirrors the nvdimmc-bench -json line shape.
+type record struct {
+	Experiment string             `json:"experiment"`
+	Quick      bool               `json:"quick"`
+	WallMS     float64            `json:"wall_ms"`
+	OK         bool               `json:"ok"`
+	Error      string             `json:"error,omitempty"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
+}
+
+func key(r record) string { return fmt.Sprintf("%s/quick=%v", r.Experiment, r.Quick) }
+
+// load reads a JSON-lines snapshot, keeping the last record per key.
+func load(path string) (map[string]record, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	out := map[string]record{}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var r record
+		if err := json.Unmarshal(sc.Bytes(), &r); err != nil {
+			return nil, fmt.Errorf("%s:%d: %w", path, line, err)
+		}
+		out[key(r)] = r
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("%s: no bench records", path)
+	}
+	return out, nil
+}
+
+// relDrift is |a-b| over the larger magnitude; 0 when both are 0.
+func relDrift(a, b float64) float64 {
+	den := math.Max(math.Abs(a), math.Abs(b))
+	if den == 0 {
+		return 0
+	}
+	return math.Abs(a-b) / den
+}
+
+func main() {
+	wallThresh := flag.Float64("wall-threshold", 0.25, "max relative wall-clock slowdown vs baseline")
+	metricThresh := flag.Float64("metric-threshold", 0.25, "max relative drift for headline metrics present in both snapshots")
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-wall-threshold F] [-metric-threshold F] BASELINE CANDIDATE")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 2 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	base, err := load(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	cand, err := load(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+
+	var violations []string
+	for k, b := range base {
+		c, ok := cand[k]
+		if !ok {
+			violations = append(violations, fmt.Sprintf("%s: missing from candidate", k))
+			continue
+		}
+		if !c.OK {
+			violations = append(violations, fmt.Sprintf("%s: candidate failed: %s", k, c.Error))
+			continue
+		}
+		if b.WallMS > 0 && c.WallMS > b.WallMS*(1+*wallThresh) {
+			violations = append(violations, fmt.Sprintf("%s: wall %.0f ms vs baseline %.0f ms (+%.0f%%, threshold %.0f%%)",
+				k, c.WallMS, b.WallMS, 100*(c.WallMS/b.WallMS-1), 100**wallThresh))
+		} else {
+			fmt.Printf("%-28s wall %8.0f ms vs %8.0f ms ok\n", k, c.WallMS, b.WallMS)
+		}
+		for name, bv := range b.Metrics {
+			cv, ok := c.Metrics[name]
+			if !ok {
+				violations = append(violations, fmt.Sprintf("%s: metric %q missing from candidate", k, name))
+				continue
+			}
+			if d := relDrift(bv, cv); d > *metricThresh {
+				violations = append(violations, fmt.Sprintf("%s: metric %q drifted %.1f%% (baseline %g, candidate %g, threshold %.0f%%)",
+					k, name, 100*d, bv, cv, 100**metricThresh))
+			}
+		}
+	}
+	if len(violations) > 0 {
+		for _, v := range violations {
+			fmt.Fprintln(os.Stderr, "benchdiff: REGRESSION:", v)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("benchdiff: %d experiments hold the baseline\n", len(base))
+}

@@ -16,6 +16,14 @@
 //
 //	nvdimmc-sim -channels 3 -spares 1 -faults 0:program:1 -rw randwrite -ops 500
 //	nvdimmc-sim -channels 2 -faults "0:mediaread:5,1:dietimeout:0" -ops 900
+//
+// The pooled front-end's overload controls are exposed directly: -admission
+// picks the shedding policy (block | shed-newest | shed-oldest |
+// deadline-aware), -deadline stamps every request with a completion budget
+// in microseconds, and -pendingcap bounds the per-channel admission-held
+// backlog. Any of them switches to pooled mode:
+//
+//	nvdimmc-sim -channels 3 -rate 2e6 -admission deadline-aware -deadline 2000 -ops 3000
 package main
 
 import (
@@ -30,6 +38,7 @@ import (
 	"nvdimmc/internal/core"
 	"nvdimmc/internal/fault"
 	"nvdimmc/internal/pool"
+	"nvdimmc/internal/sim"
 	"nvdimmc/internal/workload/fio"
 	"nvdimmc/internal/workload/openloop"
 )
@@ -49,10 +58,19 @@ func main() {
 	rate := flag.Float64("rate", 0, "pooled socket: open-loop arrival rate in ops per simulated second (0 = saturating)")
 	spares := flag.Int("spares", 0, "pooled socket: hot-spare modules for quarantine failover")
 	faults := flag.String("faults", "", "pooled socket: comma-separated member:kind:nth fault schedules (kind: program | mediaread | dietimeout | ackdrop; nth = site occurrence the schedule starts at, 0 = 1)")
+	admission := flag.String("admission", "block", "pooled socket: admission policy: block | shed-newest | shed-oldest | deadline-aware")
+	deadline := flag.Float64("deadline", 0, "pooled socket: per-request completion budget in microseconds (0 = none)")
+	pendingCap := flag.Int("pendingcap", 0, "pooled socket: per-channel admission-held backlog cap in fragments (0 = default)")
 	flag.Parse()
 
-	if *channels > 1 || *dimms > 1 || *spares > 0 || *faults != "" {
-		runPool(*channels, *dimms, *interleave, *rate, *rw, *bs, *ops, *spares, *faults)
+	if *channels > 1 || *dimms > 1 || *spares > 0 || *faults != "" ||
+		*admission != "block" || *deadline > 0 || *pendingCap > 0 {
+		runPool(poolOpts{
+			channels: *channels, dimms: *dimms, interleave: *interleave,
+			rate: *rate, rw: *rw, bs: *bs, ops: *ops,
+			spares: *spares, faults: *faults,
+			admission: *admission, deadlineUS: *deadline, pendingCap: *pendingCap,
+		})
 		return
 	}
 
@@ -193,10 +211,26 @@ func armSpecs(specs []faultSpec, member int, g *fault.Registry) {
 	}
 }
 
+// poolOpts carries the pooled-mode CLI knobs into runPool.
+type poolOpts struct {
+	channels, dimms int
+	interleave      int64
+	rate            float64
+	rw              string
+	bs, ops         int
+	spares          int
+	faults          string
+	admission       string
+	deadlineUS      float64
+	pendingCap      int
+}
+
 // runPool drives the interleaved multi-channel pool with a single-tenant
 // open-loop stream and prints the pooled and per-channel stats. With -spares
 // or -faults it also prints the end-of-run member state table.
-func runPool(channels, dimms int, interleave int64, rate float64, rw string, bs, ops, spares int, faults string) {
+func runPool(o poolOpts) {
+	channels, dimms, interleave := o.channels, o.dimms, o.interleave
+	rate, rw, bs, ops, spares, faults := o.rate, o.rw, o.bs, o.ops, o.spares, o.faults
 	readPct := 0 // openloop default: read-only
 	switch rw {
 	case "randread":
@@ -224,6 +258,11 @@ func runPool(channels, dimms int, interleave int64, rate float64, rw string, bs,
 		member.Audit = false
 		walk = 0
 	}
+	policy, err := pool.ParseAdmissionPolicy(o.admission)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nvdimmc-sim:", err)
+		os.Exit(2)
+	}
 	cfg := pool.Config{
 		Channels:        channels,
 		DIMMsPerChannel: dimms,
@@ -234,6 +273,8 @@ func runPool(channels, dimms int, interleave int64, rate float64, rw string, bs,
 		PrefillPages:    -1,
 		WalkFootprint:   walk,
 		Spares:          spares,
+		Admission:       policy,
+		PendingCap:      o.pendingCap,
 	}
 	if specs != nil {
 		cfg.ArmFaults = func(m int, g *fault.Registry) { armSpecs(specs, m, g) }
@@ -247,6 +288,7 @@ func runPool(channels, dimms int, interleave int64, rate float64, rw string, bs,
 	gen, err := openloop.New(openloop.Config{
 		Seed:       7,
 		RatePerSec: rate,
+		Deadline:   sim.Duration(o.deadlineUS * float64(sim.Microsecond)),
 		Tenants: []openloop.Tenant{
 			{Name: "cli", Dist: openloop.Uniform, ReadPct: readPct,
 				BlockSize: bs, Footprint: foot},
@@ -255,16 +297,18 @@ func runPool(channels, dimms int, interleave int64, rate float64, rw string, bs,
 	die(err)
 	die(p.RunOpenLoop(gen, ops))
 	s := p.Stats()
-	fmt.Printf("pool: %d channels x %d DIMMs (+%d spare), interleave %d B, capacity %d MB\n",
-		channels, dimms, spares, interleave, p.Capacity()>>20)
-	fmt.Printf("requests=%d bw=%.0f MB/s epochs=%d held-peak=%d\n",
-		s.Completed, s.Meter.BandwidthMBps(), s.Epochs, s.HeldPeak)
+	fmt.Printf("pool: %d channels x %d DIMMs (+%d spare), interleave %d B, capacity %d MB, admission %v\n",
+		channels, dimms, spares, interleave, p.Capacity()>>20, policy)
+	fmt.Printf("requests=%d bw=%.0f MB/s epochs=%d held-peak=%d shed=%d expired=%d late=%d\n",
+		s.Completed, s.Meter.BandwidthMBps(), s.Epochs, s.HeldPeak,
+		s.Shed, s.Expired, s.CompletedLate)
 	fmt.Printf("latency: p50=%v p95=%v p99=%v p999=%v max=%v\n",
 		s.Lat.Percentile(50), s.Lat.Percentile(95),
 		s.Lat.Percentile(99), s.Lat.Percentile(99.9), s.Lat.Max())
 	for i, ch := range s.PerChannel {
-		fmt.Printf("ch%d: reqs=%d bytes=%d p99=%v breaker=%s\n",
-			i, ch.Lat.Count(), ch.Meter.Bytes(), ch.Lat.Percentile(99), ch.Breaker)
+		fmt.Printf("ch%d: reqs=%d bytes=%d p99=%v heldHW=%d queueHW=%d svc-ewma=%v breaker=%s\n",
+			i, ch.Lat.Count(), ch.Meter.Bytes(), ch.Lat.Percentile(99),
+			ch.HeldHW, ch.QueueHW, ch.ServiceEWMA, ch.Breaker)
 	}
 	if spares > 0 || faults != "" {
 		fmt.Printf("faults: failed=%d retries=%d trips=%d suspects=%d quarantined=%d evacuated=%d spares-used=%d rebuild-pages=%d post-quarantine=%d\n",

@@ -27,11 +27,14 @@
 //
 // Each channel owns a bounded dispatch queue (QueueCap) feeding a bounded
 // in-flight window (Window). Arrivals that find their channel's queue full
-// are held at admission — never dropped — and re-offered each epoch in
-// arrival order. A hot channel therefore degrades into growing held/queue
-// latency on its own traffic while other channels keep streaming; nothing
-// blocks pool-wide, no acked write is ever lost, and the saturation shows up
-// where it should: in that channel's p99/p999.
+// are held at admission and re-offered each epoch in arrival order. Under
+// the default AdmitBlock policy the held list is unbounded — never drop — so
+// a hot channel degrades into growing held/queue latency on its own traffic
+// while other channels keep streaming; the shedding policies (plane.go)
+// bound it at PendingCap and turn overload into typed, counted sheds
+// instead. Either way nothing blocks pool-wide, no acked write is ever
+// lost, and the saturation shows up where it should: in that channel's
+// p99/p999 or its shed counters.
 package pool
 
 import (
@@ -126,6 +129,18 @@ type Config struct {
 	// page copies per epoch per job).
 	RebuildPagesPerEpoch int
 
+	// Admission selects the front-end admission policy (default AdmitBlock,
+	// the hold-everything behavior; see plane.go for the shedding policies).
+	Admission AdmissionPolicy
+	// PendingCap bounds each channel's admission-held backlog in fragments
+	// under the shedding policies (default 256; AdmitBlock ignores it and
+	// holds unbounded).
+	PendingCap int
+	// Notify, when non-nil, receives every terminal Completion record in
+	// deterministic order at the end of the epoch that retired it. Leave nil
+	// to buffer records from plane-submitted requests for Poll instead.
+	Notify func(Completion)
+
 	// Per-channel circuit breaker thresholds; see type breaker.
 	BreakerWindow      int          // epochs per closed-state window (default 8)
 	BreakerMinSamples  int          // min observations to evaluate a window (default 8)
@@ -206,6 +221,9 @@ func (c *Config) fillDefaults() error {
 	if c.RebuildPagesPerEpoch <= 0 {
 		c.RebuildPagesPerEpoch = 8
 	}
+	if c.PendingCap <= 0 {
+		c.PendingCap = 256
+	}
 	if c.BreakerWindow <= 0 {
 		c.BreakerWindow = 8
 	}
@@ -230,14 +248,26 @@ func (c *Config) fillDefaults() error {
 // request is one front-end op; fragments spanning stripes complete it
 // together.
 type request struct {
-	arrival   sim.Time
+	id      uint64
+	arrival sim.Time
+	// deadline is the absolute expiry instant (arrival + budget); zero means
+	// no deadline. Expiry is evaluated only at epoch boundaries (plane.go).
+	deadline  sim.Time
 	write     bool
+	tenant    int
 	remaining int
 	lastDone  sim.Time
 	channel0  int // channel of the first fragment: latency attribution
 	// err is the first terminal fragment error; a request finishing with
-	// err != nil counts as failed (typed), never as completed.
+	// err != nil counts as shed, expired or failed by its typed chain,
+	// never as completed.
 	err error
+	// canceled marks a doomed request (shed-oldest victim or expired):
+	// waiting fragments are swept at the next boundary, in-flight ones
+	// complete and count their pieces.
+	canceled bool
+	// notify: emit a Completion record for Poll/Notify (plane submissions).
+	notify bool
 }
 
 // fragment is the per-member piece of a request. member is the LOGICAL
@@ -279,13 +309,49 @@ type member struct {
 
 // channelState is the front-end's per-channel scheduler state.
 type channelState struct {
-	pending  []*fragment // admission-held, FIFO (unbounded: backpressure, never drop)
+	pending  []*fragment // admission-held, FIFO (unbounded under AdmitBlock)
 	queue    []*fragment // dispatchable batch, <= QueueCap
 	inflight int         // dispatched fragments not yet collected
 	brk      *breaker
-	lat      *metrics.Histogram
-	meter    *metrics.Meter
-	ctr      *metrics.Counters
+	// svcBusyAt is the boundary of the first epoch this channel had work;
+	// svcDone counts every fragment it has collected since (failures too —
+	// they occupied service capacity just the same). Their quotient is the
+	// channel's long-run per-fragment service interval: elapsed active time
+	// over delivered completions. A long-run quotient is deliberately dumb —
+	// a burst of cache hits landing in one epoch cannot drag it below the
+	// rate the channel actually sustains while misses serialize on its
+	// driver, and a sojourn-time average would lag the very backlog the
+	// estimate exists to price.
+	svcBusyAt sim.Time
+	svcSeen   bool
+	svcDone   int64
+	// ewma smooths the long-run interval (alpha 1/8, integer arithmetic,
+	// folded at collect in canonical channel order). Its reciprocal is the
+	// channel's delivered throughput, whatever serializes it (driver queues,
+	// breaker budgets, die timeouts), which makes backlog x ewma an estimate
+	// of a new fragment's completion wait. During warmup the quotient runs
+	// high (cold NAND paths, few completions), so admission errs toward
+	// shedding work that would have been late anyway. Zero until the channel
+	// has completed work.
+	ewma sim.Duration
+	// heldHW / queueHW are the run's high-water occupancy marks — the
+	// overload observable that used to be invisible until memory grew.
+	heldHW  int
+	queueHW int
+	lat     *metrics.Histogram
+	meter   *metrics.Meter
+	ctr     *metrics.Counters
+}
+
+// mark folds the current occupancy into the high-water marks; called at
+// every boundary mutation point that can grow a list.
+func (ch *channelState) mark() {
+	if n := len(ch.pending); n > ch.heldHW {
+		ch.heldHW = n
+	}
+	if n := len(ch.queue); n > ch.queueHW {
+		ch.queueHW = n
+	}
 }
 
 // Pool is an assembled socket-scale memory pool.
@@ -295,8 +361,10 @@ type Pool struct {
 
 	members []*member
 	chans   []*channelState
-	epoch0  sim.Time
-	now     sim.Time
+	// svcScratch is collect's reusable per-channel completion-count buffer.
+	svcScratch []int
+	epoch0     sim.Time
+	now        sim.Time
 
 	// Fault-tolerance state: all boundary-only (single-threaded).
 	health     []*memberHealth // per physical member
@@ -305,15 +373,32 @@ type Pool struct {
 	rebuilds   []*rebuildJob
 	ctrPool    *metrics.Counters  // pool-level fault/failover counters
 	latRebuild *metrics.Histogram // request latencies landed while a rebuild ran
+	// latMiss holds the lateness overshoot of completed-but-late requests:
+	// its tail is the campaign's deadline-miss p99/p999.
+	latMiss *metrics.Histogram
+	// completions buffers terminal records for Poll (plane submissions with
+	// no Notify callback configured).
+	completions []Completion
+	nextID      uint64
 
 	submitted uint64
 	completed uint64
 	failed    uint64
-	writesIn  uint64
-	writesAck uint64
+	// shed / expired are the overload outcomes: dropped by an admission
+	// policy, or deadline passed before completion. Terminal like failed —
+	// completed + failed + shed + expired == submitted once drained.
+	shed    uint64
+	expired uint64
+	// completedLate counts completions that landed past their deadline
+	// (still completed — the work was done, just late).
+	completedLate uint64
+	writesIn      uint64
+	writesAck     uint64
 	// writesFailed counts writes that terminated with a typed error: they
 	// were never acked, so they are not lost — the submitter was told.
-	writesFailed uint64
+	writesFailed  uint64
+	writesShed    uint64
+	writesExpired uint64
 	// untypedFailures counts requests that failed without ErrPoolDegraded /
 	// ErrMemberQuarantined in the chain; CheckHealth demands zero.
 	untypedFailures uint64
@@ -415,6 +500,7 @@ func New(cfg Config) (*Pool, error) {
 	}
 	p.ctrPool = metrics.NewCounters()
 	p.latRebuild = metrics.NewHistogram()
+	p.latMiss = metrics.NewHistogram()
 
 	// Boot and prefill advance each member by a slightly different amount
 	// (seeded media models differ); align all clocks on the latest.
@@ -463,33 +549,6 @@ func (p *Pool) CachedFootprint() int64 {
 // across channels first, so adjacent stripes land on adjacent channels.
 func (p *Pool) channelOf(memberIdx int) int { return memberIdx % p.Cfg.Channels }
 
-// submit decodes one arrival into fragments and routes each to its channel:
-// into the dispatch queue when there is room, held at admission otherwise.
-func (p *Pool) submit(r openloop.Request) {
-	req := &request{
-		arrival: p.epoch0.Add(r.Arrival),
-		write:   r.Write,
-	}
-	frags := p.Dec.Fragments(r.Off, r.Len)
-	req.remaining = len(frags)
-	req.channel0 = p.channelOf(frags[0].Member)
-	p.submitted++
-	if req.write {
-		p.writesIn++
-	}
-	for i := range frags {
-		f := &fragment{req: req, member: frags[i].Member, off: frags[i].Off, n: frags[i].Len}
-		ch := p.chans[p.channelOf(f.member)]
-		if len(ch.queue) < p.Cfg.QueueCap {
-			ch.queue = append(ch.queue, f)
-			ch.ctr.Inc("frags-admitted")
-		} else {
-			ch.pending = append(ch.pending, f)
-			ch.ctr.Inc("frags-held")
-		}
-	}
-}
-
 // fill refills a channel's queue from its held list, then dispatches queued
 // fragments into the in-flight window, subject to the channel breaker's
 // budget. A queued fragment whose routed member is quarantined (possible
@@ -503,6 +562,7 @@ func (p *Pool) fill(ci int) {
 		ch.pending = ch.pending[1:]
 		ch.ctr.Inc("frags-admitted")
 	}
+	ch.mark()
 	budget := ch.brk.budget()
 	dispatched := false
 	for len(ch.queue) > 0 {
@@ -564,11 +624,23 @@ func (p *Pool) dispatch(f *fragment) {
 // observations, and finishing or retrying requests. Rebuild-op completions
 // drain on the same pass; finished rebuild jobs are swept afterwards.
 func (p *Pool) collect() {
+	// Per-channel completion counts this epoch feed the service-interval
+	// EWMA after the member loop. Failed fragments count too: they occupied
+	// the channel's service capacity just the same.
+	if p.svcScratch == nil {
+		p.svcScratch = make([]int, len(p.chans))
+	}
+	svcDone := p.svcScratch
+	for i := range svcDone {
+		svcDone[i] = 0
+	}
 	for _, m := range p.members {
 		for _, c := range m.done {
 			f := c.frag
-			ch := p.chans[p.channelOf(f.member)]
+			ci := p.channelOf(f.member)
+			ch := p.chans[ci]
 			ch.inflight--
+			svcDone[ci]++
 			failed := c.err != nil ||
 				(p.Cfg.BreakerLatency > 0 && c.at.Sub(f.req.arrival) > p.Cfg.BreakerLatency)
 			ch.brk.observe(failed)
@@ -598,38 +670,90 @@ func (p *Pool) collect() {
 		}
 		m.rdone = m.rdone[:0]
 	}
+	// Fold this epoch's completions into each channel's long-run service
+	// interval and smooth it into the EWMA the deadline-aware admission
+	// estimate reads (canonical channel order, integer arithmetic). A
+	// channel's clock starts at its first busy epoch — idle time before any
+	// work is not evidence of a slow channel.
+	end := p.now.Add(p.Cfg.Epoch)
+	for ci, ch := range p.chans {
+		busy := svcDone[ci] > 0 || ch.inflight > 0 || len(ch.queue) > 0 || len(ch.pending) > 0
+		if !ch.svcSeen {
+			if !busy {
+				continue
+			}
+			ch.svcSeen = true
+			ch.svcBusyAt = p.now
+		}
+		ch.svcDone += int64(svcDone[ci])
+		if ch.svcDone == 0 {
+			continue
+		}
+		cum := end.Sub(ch.svcBusyAt) / sim.Duration(ch.svcDone)
+		if cum <= 0 {
+			cum = 1
+		}
+		if ch.ewma == 0 {
+			ch.ewma = cum
+		} else {
+			ch.ewma += (cum - ch.ewma) / 8
+		}
+	}
 	p.sweepRebuilds()
 }
 
 // fragFailed routes one failed (or quarantine-rejected) fragment: back into
 // the retry queue with capped exponential backoff while budget remains,
-// terminal otherwise. Terminal failures stamp the request with a typed
-// ErrPoolDegraded chain and count the piece done — the request will finish
-// as failed, never linger.
+// terminal otherwise. A fragment whose request is already doomed (canceled
+// by shedding or expiry) or whose next retry cannot land inside the
+// request's deadline is terminal immediately — no backoff epochs are burnt
+// on work that cannot count. Terminal failures stamp the request with a
+// typed chain and count the piece done — the request finishes, never
+// lingers.
 func (p *Pool) fragFailed(f *fragment, err error, at sim.Time) {
 	ch := p.chans[p.channelOf(f.member)]
+	r := f.req
+	if r.canceled {
+		ch.ctr.Inc("frags-canceled")
+		p.requestPieceDone(r, at)
+		return
+	}
 	f.attempts++
 	if f.attempts <= p.Cfg.MaxRetries {
 		delay := p.Cfg.RetryBackoffEpochs << (f.attempts - 1)
 		if delay > p.Cfg.RetryBackoffCap {
 			delay = p.Cfg.RetryBackoffCap
 		}
+		if r.deadline > 0 {
+			// Earliest the retry can finish: backoff epochs out, plus one
+			// smoothed service interval. Past the deadline, re-arming only
+			// burns epochs — fail the request typed now.
+			eta := p.now.Add(sim.Duration(delay) * p.Cfg.Epoch).Add(ch.ewma)
+			if eta > r.deadline {
+				ch.ctr.Inc("frags-retry-expired")
+				p.cancelRequest(r, fmt.Errorf("pool: retry %d cannot land inside deadline: %w (last error: %w)",
+					f.attempts, ErrDeadlineExceeded, err))
+				p.requestPieceDone(r, at)
+				return
+			}
+		}
 		p.retries = append(p.retries, retryEntry{f: f, ready: p.epochs + delay})
 		ch.ctr.Inc("frags-retried")
 		return
 	}
 	ch.ctr.Inc("frags-failed")
-	r := f.req
 	if r.err == nil {
 		r.err = fmt.Errorf("%w (%d attempts): %w", ErrPoolDegraded, f.attempts, err)
 	}
 	p.requestPieceDone(r, at)
 }
 
-// requestPieceDone retires one fragment outcome (success or terminal
-// failure) against its request and finishes the request when it was the
-// last: failed requests count typed, successful ones record latency — into
-// the rebuild-shadow histogram too while an evacuation is running.
+// requestPieceDone retires one fragment outcome (success, sweep, or
+// terminal failure) against its request and finishes the request when it
+// was the last, classifying it by its typed error chain: shed
+// (ErrAdmissionFull), expired (ErrDeadlineExceeded), failed (other typed
+// errors), or completed — recording latency, and lateness when a completion
+// landed past its deadline.
 func (p *Pool) requestPieceDone(r *request, at sim.Time) {
 	if at > r.lastDone {
 		r.lastDone = at
@@ -639,7 +763,49 @@ func (p *Pool) requestPieceDone(r *request, at sim.Time) {
 		return
 	}
 	ch0 := p.chans[r.channel0]
-	if r.err != nil {
+	rec := Completion{
+		ID:      r.id,
+		Tenant:  r.tenant,
+		Write:   r.write,
+		Err:     r.err,
+		At:      r.lastDone,
+		Latency: r.lastDone.Sub(r.arrival),
+	}
+	switch {
+	case r.err == nil:
+		lat := rec.Latency
+		ch0.lat.Record(lat)
+		if len(p.rebuilds) > 0 {
+			p.latRebuild.Record(lat)
+		}
+		ch0.ctr.Inc("requests-completed")
+		p.completed++
+		if r.write {
+			p.writesAck++
+		}
+		if r.deadline > 0 && r.lastDone > r.deadline {
+			rec.Late = true
+			rec.Lateness = r.lastDone.Sub(r.deadline)
+			p.completedLate++
+			p.latMiss.Record(rec.Lateness)
+			ch0.ctr.Inc("requests-late")
+		}
+	case errors.Is(r.err, ErrAdmissionFull):
+		rec.Outcome = OutcomeShed
+		ch0.ctr.Inc("requests-shed")
+		p.shed++
+		if r.write {
+			p.writesShed++
+		}
+	case errors.Is(r.err, ErrDeadlineExceeded):
+		rec.Outcome = OutcomeExpired
+		ch0.ctr.Inc("requests-expired")
+		p.expired++
+		if r.write {
+			p.writesExpired++
+		}
+	default:
+		rec.Outcome = OutcomeFailed
 		ch0.ctr.Inc("requests-failed")
 		p.failed++
 		if r.write {
@@ -651,17 +817,9 @@ func (p *Pool) requestPieceDone(r *request, at sim.Time) {
 		if !errors.Is(r.err, ErrPoolDegraded) && !errors.Is(r.err, ErrMemberQuarantined) {
 			p.untypedFailures++
 		}
-		return
 	}
-	lat := r.lastDone.Sub(r.arrival)
-	ch0.lat.Record(lat)
-	if len(p.rebuilds) > 0 {
-		p.latRebuild.Record(lat)
-	}
-	ch0.ctr.Inc("requests-completed")
-	p.completed++
-	if r.write {
-		p.writesAck++
+	if r.notify || p.Cfg.Notify != nil {
+		p.completions = append(p.completions, rec)
 	}
 }
 
@@ -680,22 +838,51 @@ func (p *Pool) promoteRetries() {
 		ch := p.chans[p.channelOf(e.f.member)]
 		ch.pending = append(ch.pending, e.f)
 		ch.ctr.Inc("frags-repromoted")
+		ch.mark()
 	}
 	p.retries = keep
 }
 
+// step advances the pool one epoch: boundary bookkeeping in canonical
+// channel order, member kernels to the next boundary (parallel when
+// configured — the output is identical either way), then collection, health
+// probes, breaker ticks and completion delivery. Both Run and the plane's
+// Step drive this one body, so embedded and harnessed use cannot diverge.
+func (p *Pool) step() {
+	p.epochs++
+	epochEnd := p.now.Add(p.Cfg.Epoch)
+	p.expireAndSweep()
+	p.promoteRetries()
+	for ci := range p.chans {
+		p.fill(ci)
+	}
+	p.issueRebuilds()
+	parallelEach(len(p.members), p.Cfg.Workers, func(i int) {
+		p.members[i].sys.K.RunUntil(epochEnd)
+	})
+	p.collect()
+	p.probeMembers()
+	for _, ch := range p.chans {
+		ch.brk.tick()
+	}
+	p.now = epochEnd
+	p.deliverCompletions()
+}
+
 // Run drains requests from next (until it reports false) through the pool
-// and returns once every admitted request has completed. next is called at
-// epoch boundaries only.
+// and returns once every admitted request reached a terminal outcome. next
+// is called at epoch boundaries only. Run is a loop over the request plane:
+// submit the epoch's arrivals, step, repeat — shed requests are terminal
+// outcomes already counted at submission, so their admission errors are not
+// Run failures.
 func (p *Pool) Run(next func() (openloop.Request, bool)) error {
 	var look *openloop.Request
 	exhausted := false
 	for {
 		if p.epochs >= p.Cfg.MaxEpochs {
-			return fmt.Errorf("pool: %d epochs without draining (%d/%d requests complete) — wedged?",
-				p.epochs, p.completed, p.submitted)
+			return fmt.Errorf("pool: %d epochs without draining (%d/%d requests terminal) — wedged?",
+				p.epochs, p.terminal(), p.submitted)
 		}
-		p.epochs++
 		epochEnd := p.now.Add(p.Cfg.Epoch)
 		for !exhausted {
 			if look == nil {
@@ -709,25 +896,11 @@ func (p *Pool) Run(next func() (openloop.Request, bool)) error {
 			if p.epoch0.Add(look.Arrival) >= epochEnd {
 				break
 			}
-			p.submit(*look)
+			p.submitReq(*look, false)
 			look = nil
 		}
-		p.promoteRetries()
-		for ci := range p.chans {
-			p.fill(ci)
-		}
-		p.issueRebuilds()
-		parallelEach(len(p.members), p.Cfg.Workers, func(i int) {
-			p.members[i].sys.K.RunUntil(epochEnd)
-		})
-		p.collect()
-		p.probeMembers()
-		for _, ch := range p.chans {
-			ch.brk.tick()
-		}
-		p.now = epochEnd
-		if exhausted && look == nil && p.completed+p.failed == p.submitted &&
-			len(p.retries) == 0 && len(p.rebuilds) == 0 {
+		p.step()
+		if exhausted && look == nil && p.Quiesced() {
 			return nil
 		}
 	}
@@ -752,6 +925,9 @@ type Stats struct {
 	// LatRebuild shadows Lat for requests that completed while a rebuild
 	// was active: the p99 here is the rebuild-interference tail.
 	LatRebuild *metrics.Histogram
+	// LatMiss holds the lateness overshoot of completed-but-late requests;
+	// its p99/p999 is the deadline-miss tail the overload campaign tables.
+	LatMiss *metrics.Histogram
 	// Meter aggregates completed bytes over the pooled measurement span
 	// (min start / max end across channels, not the double-counting sum).
 	Meter *metrics.Meter
@@ -766,15 +942,27 @@ type Stats struct {
 
 	Submitted uint64
 	Completed uint64
-	// Failed counts requests that terminated with a typed error (retries
-	// exhausted or member quarantined with no spare). Completed + Failed ==
-	// Submitted once Run returns.
-	Failed      uint64
-	WritesIn    uint64
-	WritesAcked uint64
-	// WritesFailed counts writes refused with a typed error before any ack:
-	// WritesAcked + WritesFailed == WritesIn means no acked write was lost.
-	WritesFailed uint64
+	// Failed counts requests that terminated with a typed fault error
+	// (retries exhausted or member quarantined with no spare). Completed +
+	// Failed + Shed + Expired == Submitted once the pool drains.
+	Failed uint64
+	// Shed counts requests dropped typed (ErrAdmissionFull) by an admission
+	// policy; Expired counts requests whose deadline passed before
+	// completion (ErrDeadlineExceeded). Both are terminal outcomes.
+	Shed    uint64
+	Expired uint64
+	// CompletedLate counts completions that landed past their deadline —
+	// completed work, just late; LatMiss holds their overshoot.
+	CompletedLate uint64
+	WritesIn      uint64
+	WritesAcked   uint64
+	// WritesFailed counts writes refused with a typed error before any ack;
+	// WritesShed and WritesExpired the same for the overload outcomes.
+	// WritesAcked + WritesFailed + WritesShed + WritesExpired == WritesIn
+	// means no acked write was lost.
+	WritesFailed  uint64
+	WritesShed    uint64
+	WritesExpired uint64
 	// PostQuarantineDispatches must be zero: no fragment was dispatched to
 	// an already-quarantined member.
 	PostQuarantineDispatches uint64
@@ -796,6 +984,12 @@ type ChannelStats struct {
 	// Breaker is the channel breaker's final state (closed / open /
 	// half-open).
 	Breaker string
+	// HeldHW / QueueHW are the run's high-water occupancy marks for the
+	// admission-held list and the dispatch queue.
+	HeldHW  int
+	QueueHW int
+	// ServiceEWMA is the final smoothed fragment service interval.
+	ServiceEWMA sim.Duration
 }
 
 // MemberStats is one physical member's health view.
@@ -822,14 +1016,20 @@ func (p *Pool) Stats() Stats {
 	s := Stats{
 		Lat:                      metrics.NewHistogram(),
 		LatRebuild:               p.latRebuild,
+		LatMiss:                  p.latMiss,
 		Meter:                    metrics.NewMeter(p.epoch0),
 		Ctr:                      metrics.NewCounters(),
 		Submitted:                p.submitted,
 		Completed:                p.completed,
 		Failed:                   p.failed,
+		Shed:                     p.shed,
+		Expired:                  p.expired,
+		CompletedLate:            p.completedLate,
 		WritesIn:                 p.writesIn,
 		WritesAcked:              p.writesAck,
 		WritesFailed:             p.writesFailed,
+		WritesShed:               p.writesShed,
+		WritesExpired:            p.writesExpired,
 		PostQuarantineDispatches: p.postQuarantine,
 		SparesUsed:               p.sparesUsed,
 		FirstFailure:             p.firstFailure,
@@ -842,6 +1042,7 @@ func (p *Pool) Stats() Stats {
 		s.Ctr.Merge(ch.ctr)
 		s.PerChannel = append(s.PerChannel, ChannelStats{
 			Lat: ch.lat, Meter: ch.meter, Ctr: ch.ctr, Breaker: ch.brk.state.String(),
+			HeldHW: ch.heldHW, QueueHW: ch.queueHW, ServiceEWMA: ch.ewma,
 		})
 	}
 	s.Ctr.Merge(p.ctrPool)
@@ -875,20 +1076,21 @@ func (p *Pool) Member(i int) *core.System { return p.members[i].sys }
 func (p *Pool) Members() int { return len(p.members) }
 
 // CheckHealth runs every serving member's CheckHealth and the pool's own
-// conservation invariants: every admitted request completed or failed with
-// a typed error (nothing silently dropped), every write either acked or
-// typed-failed, no fragment stranded in a queue, window, retry queue or
+// conservation invariants: every submitted request reached exactly one
+// terminal outcome — completed, shed, expired, or failed, the latter three
+// typed (nothing silently dropped) — every write either acked or
+// typed-terminal, no fragment stranded in a queue, window, retry queue or
 // rebuild, and no fragment dispatched to a quarantined member. Quarantined
 // and evacuated members are exempt from the per-member check — containing
 // their sickness is the pool's job, and it did.
 func (p *Pool) CheckHealth() error {
-	if p.completed+p.failed != p.submitted {
-		return fmt.Errorf("pool: %d of %d requests unaccounted",
-			p.submitted-p.completed-p.failed, p.submitted)
+	if p.terminal() != p.submitted {
+		return fmt.Errorf("pool: %d of %d requests unaccounted (completed %d + shed %d + expired %d + failed %d)",
+			p.submitted-p.terminal(), p.submitted, p.completed, p.shed, p.expired, p.failed)
 	}
-	if p.writesAck+p.writesFailed != p.writesIn {
-		return fmt.Errorf("pool: %d writes admitted but %d acked + %d typed-failed (acked-write loss)",
-			p.writesIn, p.writesAck, p.writesFailed)
+	if p.writesAck+p.writesFailed+p.writesShed+p.writesExpired != p.writesIn {
+		return fmt.Errorf("pool: %d writes admitted but %d acked + %d typed-failed + %d shed + %d expired (acked-write loss)",
+			p.writesIn, p.writesAck, p.writesFailed, p.writesShed, p.writesExpired)
 	}
 	if p.untypedFailures != 0 {
 		return fmt.Errorf("pool: %d requests failed without a typed error", p.untypedFailures)

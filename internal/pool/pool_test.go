@@ -46,6 +46,8 @@ func snapshot(s Stats) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "req=%d/%d wracked=%d epochs=%d heldpeak=%d\n",
 		s.Completed, s.Submitted, s.WritesAcked, s.Epochs, s.HeldPeak)
+	fmt.Fprintf(&b, "overload shed=%d expired=%d late=%d wshed=%d wexpired=%d\n",
+		s.Shed, s.Expired, s.CompletedLate, s.WritesShed, s.WritesExpired)
 	fmt.Fprintf(&b, "lat n=%d mean=%v min=%v max=%v p50=%v p90=%v p99=%v p999=%v\n",
 		s.Lat.Count(), s.Lat.Mean(), s.Lat.Min(), s.Lat.Max(),
 		s.Lat.Percentile(50), s.Lat.Percentile(90), s.Lat.Percentile(99), s.Lat.Percentile(99.9))
@@ -53,8 +55,9 @@ func snapshot(s Stats) string {
 		s.Meter.Ops(), s.Meter.Bytes(), s.Meter.Elapsed(), s.Meter.BandwidthMBps())
 	fmt.Fprintf(&b, "ctr %s\n", s.Ctr.String())
 	for i, ch := range s.PerChannel {
-		fmt.Fprintf(&b, "ch%d n=%d p99=%v bytes=%d %s\n",
-			i, ch.Lat.Count(), ch.Lat.Percentile(99), ch.Meter.Bytes(), ch.Ctr.String())
+		fmt.Fprintf(&b, "ch%d n=%d p99=%v bytes=%d heldHW=%d queueHW=%d svc=%v %s\n",
+			i, ch.Lat.Count(), ch.Lat.Percentile(99), ch.Meter.Bytes(),
+			ch.HeldHW, ch.QueueHW, ch.ServiceEWMA, ch.Ctr.String())
 	}
 	return b.String()
 }

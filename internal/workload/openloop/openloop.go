@@ -71,16 +71,24 @@ type Config struct {
 	// Seed makes the stream reproducible; zero gets a fixed default.
 	Seed uint64
 	// RatePerSec is the aggregate arrival rate in ops per simulated second.
-	// Zero or negative means "saturating": arrivals spaced 1 ns apart, an
-	// offered load beyond any channel count this repo configures.
+	// Zero means "saturating": arrivals spaced 1 ns apart, an offered load
+	// beyond any channel count this repo configures. Negative (and NaN/Inf)
+	// rates are rejected by New — they used to silently saturate, hiding a
+	// sweep arithmetic bug as a bogus overload result.
 	RatePerSec float64
-	Tenants    []Tenant
+	// Deadline, when positive, stamps every generated request with this
+	// completion budget (relative to its arrival). Zero leaves requests
+	// deadline-free; negative is rejected.
+	Deadline sim.Duration
+	Tenants  []Tenant
 }
 
 // Request is one arrival.
 type Request struct {
 	// Arrival is the offset of the arrival instant from stream start.
 	Arrival sim.Duration
+	// Deadline is the completion budget relative to Arrival (0 = none).
+	Deadline sim.Duration
 	// Tenant indexes Config.Tenants.
 	Tenant int
 	Off    int64
@@ -105,13 +113,27 @@ func New(cfg Config) (*Generator, error) {
 	if len(cfg.Tenants) == 0 {
 		return nil, fmt.Errorf("openloop: no tenants")
 	}
+	if cfg.RatePerSec < 0 || math.IsNaN(cfg.RatePerSec) || math.IsInf(cfg.RatePerSec, 0) {
+		return nil, fmt.Errorf("openloop: rate %v ops/s is not a rate (zero means saturating; negative/NaN/Inf is a config bug)",
+			cfg.RatePerSec)
+	}
+	if cfg.Deadline < 0 {
+		return nil, fmt.Errorf("openloop: deadline %d ps negative (zero disables deadlines)", int64(cfg.Deadline))
+	}
 	total := 0.0
 	for i := range cfg.Tenants {
 		t := &cfg.Tenants[i]
-		if t.Weight <= 0 {
+		if t.Weight < 0 || math.IsNaN(t.Weight) || math.IsInf(t.Weight, 0) {
+			return nil, fmt.Errorf("openloop: tenant %d weight %v is not a share (zero defaults to 1; negative/NaN/Inf is a config bug)",
+				i, t.Weight)
+		}
+		if t.Weight == 0 {
 			t.Weight = 1
 		}
-		if t.BlockSize <= 0 {
+		if t.BlockSize < 0 {
+			return nil, fmt.Errorf("openloop: tenant %d block size %d negative (zero defaults to 4096)", i, t.BlockSize)
+		}
+		if t.BlockSize == 0 {
 			t.BlockSize = 4096
 		}
 		switch {
@@ -184,11 +206,12 @@ func (g *Generator) Next() Request {
 		blk = g.rng.Int63n(blocks)
 	}
 	return Request{
-		Arrival: g.now,
-		Tenant:  ti,
-		Off:     t.Offset + blk*int64(t.BlockSize),
-		Len:     t.BlockSize,
-		Write:   write,
+		Arrival:  g.now,
+		Deadline: g.cfg.Deadline,
+		Tenant:   ti,
+		Off:      t.Offset + blk*int64(t.BlockSize),
+		Len:      t.BlockSize,
+		Write:    write,
 	}
 }
 

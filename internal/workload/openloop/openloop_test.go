@@ -1,6 +1,7 @@
 package openloop
 
 import (
+	"math"
 	"testing"
 
 	"nvdimmc/internal/sim"
@@ -188,5 +189,42 @@ func TestConfigValidation(t *testing.T) {
 	}
 	if _, err := New(Config{Tenants: []Tenant{{Footprint: 1 << 20, Dist: Zipfian, Theta: 1.5}}}); err == nil {
 		t.Fatal("theta >= 1 accepted")
+	}
+	if _, err := New(Config{Deadline: -1, Tenants: []Tenant{{Footprint: 1 << 20}}}); err == nil {
+		t.Fatal("negative deadline accepted")
+	}
+	if _, err := New(Config{RatePerSec: -1, Tenants: []Tenant{{Footprint: 1 << 20}}}); err == nil {
+		t.Fatal("negative rate accepted")
+	}
+	if _, err := New(Config{RatePerSec: math.NaN(), Tenants: []Tenant{{Footprint: 1 << 20}}}); err == nil {
+		t.Fatal("NaN rate accepted")
+	}
+	if _, err := New(Config{Tenants: []Tenant{{Footprint: 1 << 20, Weight: math.Inf(1)}}}); err == nil {
+		t.Fatal("infinite weight accepted")
+	}
+}
+
+// TestDeadlineStamping: a configured budget reaches every emitted request
+// unchanged; zero leaves requests undeadlined.
+func TestDeadlineStamping(t *testing.T) {
+	cfg := twoTenants()
+	cfg.Deadline = 250 * sim.Microsecond
+	g, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if r := g.Next(); r.Deadline != 250*sim.Microsecond {
+			t.Fatalf("request %d deadline %v, want 250us", i, r.Deadline)
+		}
+	}
+	g, err = New(twoTenants())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if r := g.Next(); r.Deadline != 0 {
+			t.Fatalf("request %d deadline %v, want none", i, r.Deadline)
+		}
 	}
 }

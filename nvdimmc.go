@@ -245,6 +245,29 @@ func Experiments(opts ExperimentOptions) map[string]func() error {
 			}
 			return err
 		},
+		"overload": func() error {
+			res, err := experiments.Overload(opts)
+			if err == nil {
+				hl("points", float64(res.Points()))
+				hl("capacity-ops", res.CapacityOps)
+				hl("4x-shed-goodput-ratio", res.ShedGoodputRatio())
+				hl("shed", float64(res.ShedTotal()))
+				hl("expired", float64(res.ExpiredTotal()))
+				hl("acked-writes-lost", float64(res.AckedLostTotal()))
+			}
+			if err == nil && res.AckedLostTotal() > 0 {
+				err = fmt.Errorf("overload: %d acked writes lost across %d points",
+					res.AckedLostTotal(), res.Points())
+			}
+			if err == nil && res.ShedGoodputRatio() < 0.9 {
+				err = fmt.Errorf("overload: 4x deadline-aware goodput %.2fx capacity, below the 0.9x graceful-degradation bound",
+					res.ShedGoodputRatio())
+			}
+			if err == nil {
+				err = res.ShedBeatsQueueing()
+			}
+			return err
+		},
 		"conformance": func() error {
 			res, err := experiments.Conformance(opts)
 			if err == nil {
@@ -294,6 +317,7 @@ func ExperimentList() []ExperimentInfo {
 		{"conformance", "randomized DDR4 protocol conformance fuzzing (auditor-checked)"},
 		{"pool", "socket scaling: 1-6 interleaved channels under open-loop multi-tenant load"},
 		{"faultpool", "socket-scale fault campaign: quarantine, spare failover, rebuild, zero acked-write loss"},
+		{"overload", "saturation campaign: deadlines, typed timeouts and admission shedding from 0.5x to 4x capacity"},
 	}
 }
 
