@@ -4,16 +4,18 @@
 //
 // Usage:
 //
-//	nvdimmc-bench [-quick] [-parallel N] [-json FILE] [experiment ...]
+//	nvdimmc-bench [-quick] [-parallel N] [-lockstep] [-json FILE] [experiment ...]
 //
 // With no arguments every experiment runs in the paper's order; a failing
 // experiment no longer aborts the rest — every requested experiment runs,
 // all failures are reported, and the exit status is nonzero if any failed.
 // -parallel fans the shardable experiments (crash, fig9, fig11, fig13)
-// across N workers with byte-identical output to a serial run. -json
-// appends one JSON line per experiment (wall-clock + headline metrics) to
-// FILE, e.g. BENCH_2026-08-05.json, so the harness's own performance
-// trajectory is trackable across commits.
+// across N workers with byte-identical output to a serial run. -lockstep
+// disables the pool's lookahead epoch scheduler (naive per-epoch advance;
+// output is byte-identical either way — CI diffs the two). -json appends
+// one JSON line per experiment (wall-clock + headline metrics) to FILE,
+// e.g. BENCH_2026-08-05.json, so the harness's own performance trajectory
+// is trackable across commits.
 //
 // Available experiments: table1 table2 frontend aging fig7 fig8 fig9 fig10
 // fig11 mixed lru fig12 fig13 windows ablations endurance crash conformance
@@ -59,8 +61,10 @@ func main() {
 		"max concurrent sim instances per shardable experiment (1 = serial; output is identical either way)")
 	jsonPath := flag.String("json", "",
 		"append per-experiment wall-clock + headline metrics to this JSON-lines file (e.g. BENCH_snapshot.json)")
+	lockstep := flag.Bool("lockstep", false,
+		"run the pooled experiments with the lookahead epoch scheduler disabled (naive per-epoch lockstep; output is byte-identical either way)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: nvdimmc-bench [-quick] [-parallel N] [-json FILE] [experiment ...]\navailable: %s\n",
+		fmt.Fprintf(os.Stderr, "usage: nvdimmc-bench [-quick] [-parallel N] [-lockstep] [-json FILE] [experiment ...]\navailable: %s\n",
 			strings.Join(nvdimmc.ExperimentNames(), " "))
 		flag.PrintDefaults()
 	}
@@ -84,10 +88,11 @@ func main() {
 
 	metrics := map[string]float64{}
 	opts := nvdimmc.ExperimentOptions{
-		Quick:    *quick,
-		Out:      os.Stdout,
-		Parallel: *parallel,
-		Headline: func(name string, v float64) { metrics[name] = v },
+		Quick:            *quick,
+		Out:              os.Stdout,
+		Parallel:         *parallel,
+		Headline:         func(name string, v float64) { metrics[name] = v },
+		DisableLookahead: *lockstep,
 	}
 	harnesses := nvdimmc.Experiments(opts)
 

@@ -259,6 +259,25 @@ func (c *Channel) NVMCAccess(addr int64, buf []byte, read bool) error {
 	return c.dev.CopyIn(addr, buf)
 }
 
+// WarpIdleRefreshCycles credits m idle refresh cycles without driving the
+// CA wires: per cycle the host issued PREA+REF (two CA commands, no data
+// bytes) and the NVMC moved pollBytes of window-poll data (no CA command
+// — CP polls are plain data-bus reads). rLast is the instant of the last
+// warped REF, which becomes the last-command timestamp for the collision
+// window check. The caller owns the proof that the channel was otherwise
+// untouched across the warped span (no host transfer, no NVMC command),
+// and warps the snoop consumers (refresh detector) separately.
+func (c *Channel) WarpIdleRefreshCycles(m uint64, rLast sim.Time, pollBytes uint64) {
+	if m == 0 {
+		return
+	}
+	c.hostCommands += 2 * m
+	c.nvmcBytes += m * pollBytes
+	c.lastCmdAt = rLast
+	c.lastCmdMaster = HostIMC
+	c.lastCmdValid = true
+}
+
 // Stats reports per-master command and byte counters.
 func (c *Channel) Stats() (hostCmds, nvmcCmds, hostBytes, nvmcBytes uint64) {
 	return c.hostCommands, c.nvmcCommands, c.hostBytes, c.nvmcBytes

@@ -161,6 +161,39 @@ func (a *Auditor) Err() error {
 		a.count, a.violations[0])
 }
 
+// WarpIdleRefreshCycles advances the auditor over m clean idle refresh
+// cycles, the last REF landing at rLast, each cycle carrying polls stale CP
+// polls in its window. The event stream such a cycle produces — refresh
+// hold, PREA, REF, detection, window, polls×NVMC data — is replayed as pure
+// state updates with zero violations; the caller (the idle-warp scheduler)
+// owns the proof that each cycle was protocol-clean, which holds exactly
+// when the member was quiescent: the gap between warped REFs is one tREFI
+// (within any postponement budget), PREA precedes REF with all banks
+// already closed, the window geometry is the programmed one, and stale
+// polls move only sub-page control bytes.
+func (a *Auditor) WarpIdleRefreshCycles(m uint64, rLast sim.Time, polls int) {
+	if m == 0 {
+		return
+	}
+	a.events += m * uint64(5+polls)
+	a.lastAt = rLast.Add(a.p.StandardTRFC)
+	a.lastRefAt = rLast
+	a.seenRef = true
+	a.lastCmdKind = ddr4.CmdRefresh
+	a.lastCmdAt = rLast
+	a.lastCmdValid = true
+	for i := range a.bankOpen {
+		a.bankOpen[i] = false
+	}
+	a.curHold = hold{at: rLast, end: rLast.Add(a.p.TRFC), valid: true}
+	a.curWindow = window{
+		at:    rLast.Add(a.p.StandardTRFC),
+		end:   rLast.Add(a.p.TRFC).Add(-a.p.WindowGuard),
+		refAt: rLast,
+		valid: true,
+	}
+}
+
 func (a *Auditor) violate(at sim.Time, rule, format string, args ...interface{}) {
 	a.count++
 	if len(a.violations) < a.p.Limit {

@@ -316,6 +316,119 @@ func (s *System) Run() { s.K.Run() }
 // RunFor advances simulated time by d.
 func (s *System) RunFor(d sim.Duration) { s.K.RunFor(d) }
 
+// FastForwardIdle advances the system to target exactly like
+// s.K.RunUntil(target), but when the member is provably quiescent it warps
+// over whole idle refresh cycles instead of executing their events. A
+// quiescent member's only activity is the tREFI-cadence refresh chain —
+// REF hold, PREA+REF, detection, an extra-tRFC window whose polls all find
+// stale CP slots — and every cycle leaves the system in the same state up
+// to a handful of counters and timestamps, which the per-component
+// Warp* hooks replay in O(1). Observable state (printed stats, DRAM bytes,
+// auditor verdicts, future event timing) is byte-identical to the naive
+// run; only the kernel's processed-event count diverges.
+//
+// Eligibility is checked conservatively; on any doubt the method falls
+// back to plain RunUntil, so it is always safe to call.
+func (s *System) FastForwardIdle(target sim.Time) {
+	// A refresh chain in flight at entry (the boundary landed mid-cycle)
+	// blocks the one-pending-event check; drain it the naive way first —
+	// its events all land by lastREF+tRFC — then try to warp the rest.
+	if s.K.Now() < target && s.K.Pending() > 1 {
+		if nr, on := s.IMC.NextRefreshAt(); on {
+			tail := nr.Add(-s.Config.TREFI).Add(s.Config.TRFC)
+			if tail > target {
+				tail = target
+			}
+			if tail > s.K.Now() {
+				s.K.RunUntil(tail)
+			}
+		}
+	}
+	if m, polls, rLast, ok := s.warpPlan(target); ok {
+		s.applyWarp(m, polls, rLast)
+	}
+	// Drains the invalidated stale refresh closure (a generation-guarded
+	// no-op) and, when the next refresh chain straddles target, begins it
+	// for real — exactly as the naive run would.
+	s.K.RunUntil(target)
+}
+
+// warpPlan decides whether idle refresh cycles can be warped before target
+// and how many. ok requires proof that every skipped event would have been
+// part of a clean idle refresh cycle:
+//
+//   - no fault registry (fault consults mutate RNG and hit counters),
+//     no detector sampling noise: each cycle is deterministic and clean;
+//   - mechanism on, not in self-refresh, and a real extra window
+//     programmed: the cycle shape is hold→PREA→REF→detect→window→polls;
+//   - every NVMC slot idle with a stale CP word: the windows are poll-only;
+//   - no trace ring or extra sinks (they would miss the warped events;
+//     the auditor is the one sink the warp replays into);
+//   - exactly one pending kernel event, and it is the refresh closure:
+//     nothing else can happen before target except refresh cycles.
+func (s *System) warpPlan(target sim.Time) (m uint64, polls int, rLast sim.Time, ok bool) {
+	if s.Faults != nil || !s.Config.MechanismEnabled {
+		return 0, 0, 0, false
+	}
+	if !s.Detector.Enabled() || s.Detector.BitErrorRate != 0 {
+		return 0, 0, 0, false
+	}
+	if s.Trace != nil {
+		return 0, 0, 0, false
+	}
+	expectSinks := 0
+	if s.Auditor != nil {
+		expectSinks = 1
+	}
+	if s.rec.Sinks() != expectSinks {
+		return 0, 0, 0, false
+	}
+	if s.IMC.InSelfRefresh() || s.DRAM.InSelfRefresh() {
+		return 0, 0, 0, false
+	}
+	trfc := s.Config.TRFC
+	if s.DRAM.Config().StandardTRFC+s.Config.NVMC.WindowGuard >= trfc {
+		return 0, 0, 0, false // no usable window: cycle shape differs
+	}
+	nr, on := s.IMC.NextRefreshAt()
+	if !on {
+		return 0, 0, 0, false
+	}
+	next, any := s.K.NextAt()
+	if !any || s.K.Pending() != 1 || next != nr {
+		return 0, 0, 0, false
+	}
+	// m whole cycles fit: the m-th REF at nr+(m-1)*tREFI completes its
+	// chain (all events ≤ REF+tRFC) by target.
+	if nr.Add(trfc) > target {
+		return 0, 0, 0, false
+	}
+	// The NVMC slot probe (CP-word decode) is the expensive check: last.
+	polls, ok = s.NVMC.WarpEligible()
+	if !ok {
+		return 0, 0, 0, false
+	}
+	m = uint64(target.Sub(nr.Add(trfc))/s.Config.TREFI) + 1
+	rLast = nr.Add(sim.Duration(m-1) * s.Config.TREFI)
+	return m, polls, rLast, true
+}
+
+// applyWarp replays the aggregate effect of m idle refresh cycles into
+// every component the chain touches. The iMC goes last: it invalidates the
+// queued refresh closure and schedules a fresh one on the advanced cadence.
+func (s *System) applyWarp(m uint64, polls int, rLast sim.Time) {
+	trfc := s.Config.TRFC
+	s.Channel.DataBus.WarpGrants(m, trfc, rLast)
+	s.Channel.WarpIdleRefreshCycles(m, rLast, uint64(polls)*16)
+	s.DRAM.WarpIdleRefreshCycles(m, rLast, uint64(polls))
+	s.Detector.WarpIdleRefreshCycles(m)
+	s.NVMC.WarpIdleWindows(m, rLast)
+	if s.Auditor != nil {
+		s.Auditor.WarpIdleRefreshCycles(m, rLast, polls)
+	}
+	s.IMC.WarpIdleRefreshes(m)
+}
+
 // RunUntil steps until cond() holds, bounded by maxSim time to catch hangs.
 func (s *System) RunUntil(cond func() bool, maxSim sim.Duration) error {
 	deadline := s.K.Now().Add(maxSim)

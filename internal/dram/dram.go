@@ -338,6 +338,41 @@ func (d *Device) Apply(cmd ddr4.Command) {
 	}
 }
 
+// WarpIdleRefreshCycles credits m idle PREA+REF cycles without applying
+// the commands, the last REF landing at rLast: banks end precharged at
+// rLast, the refresh engine ends mid-cycle at rLast (refreshBusy, as a
+// real REF leaves it until the next command's lazy clear), the internal
+// refresh address advances m rows, and pollBursts read bursts per cycle
+// (the NVMC's window polls) are counted. The caller owns the proof that
+// the warped cycles were violation-free: banks already precharged, no
+// competing traffic.
+func (d *Device) WarpIdleRefreshCycles(m uint64, rLast sim.Time, pollBursts uint64) {
+	if m == 0 {
+		return
+	}
+	for i := range d.bank {
+		d.bank[i].state = BankIdle
+		d.bank[i].lastPRE = rLast
+	}
+	d.refreshBusy = true
+	d.refreshStart = rLast
+	d.refreshCount += m
+	d.refreshRow = int((int64(d.refreshRow) + int64(m%uint64(d.cfg.Rows))) % int64(d.cfg.Rows))
+	d.reads += m * pollBursts
+}
+
+// Peek copies bytes out of the backing store with no access accounting and
+// no protocol checks — a diagnostic read the simulated machine never sees.
+// The idle-warp eligibility check uses it to decode CP slots without
+// perturbing the burst counters.
+func (d *Device) Peek(addr int64, buf []byte) error {
+	if addr < 0 || addr+int64(len(buf)) > d.Capacity() {
+		return fmt.Errorf("dram: peek [%d,%d) outside capacity %d", addr, addr+int64(len(buf)), d.Capacity())
+	}
+	d.copyOut(addr, buf)
+	return nil
+}
+
 func (d *Device) checkBank(cmd ddr4.Command) *bank {
 	if cmd.Bank < 0 || cmd.Bank >= d.cfg.Banks {
 		d.violate(cmd, "bank %d out of range", cmd.Bank)

@@ -37,6 +37,12 @@ type Options struct {
 	// (cmd/nvdimmc-bench -json). Called from the merge step only, never from
 	// a shard goroutine.
 	Headline func(name string, value float64)
+	// DisableLookahead runs the pooled experiments (pool, faultpool,
+	// overload) with the pool's lookahead epoch scheduler off: every member
+	// advances event by event and every epoch runs its full boundary body.
+	// Output is byte-identical either way — the knob exists so CI and the
+	// contract tests can prove exactly that (nvdimmc-bench -lockstep).
+	DisableLookahead bool
 }
 
 func (o Options) out() io.Writer {

@@ -132,14 +132,15 @@ func faultPoolPoint(o Options, pt, reqs int) (FaultPoolPoint, error) {
 	onset := 1 + 7*(pt/(len(faultKinds)*channels))
 
 	p, err := pool.New(pool.Config{
-		Channels:        channels,
-		DIMMsPerChannel: 1,
-		Interleave:      4096,
-		Member:          faultMemberCfg(),
-		Workers:         1, // points are the parallel axis; see TestPoolFaultedWorkerCountIdentical for the in-pool axis
-		Seed:            sim.SplitSeed(11, fmt.Sprintf("faultpool/%d", pt)),
-		PrefillPages:    -1,
-		Spares:          1,
+		Channels:         channels,
+		DIMMsPerChannel:  1,
+		Interleave:       4096,
+		Member:           faultMemberCfg(),
+		Workers:          1, // points are the parallel axis; see TestPoolFaultedWorkerCountIdentical for the in-pool axis
+		Seed:             sim.SplitSeed(11, fmt.Sprintf("faultpool/%d", pt)),
+		PrefillPages:     -1,
+		Spares:           1,
+		DisableLookahead: o.DisableLookahead,
 		// Misses serialize on a member's driver (~10 epochs per completion),
 		// so the breaker window must span many epochs to gather samples.
 		BreakerWindow:      64,

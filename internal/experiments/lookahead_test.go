@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// TestPoolLookaheadLockstepIdentical: the pool experiment's printed output
+// must be byte-identical with the lookahead scheduler disabled, at any
+// worker count. Combined with TestPoolParallelIdentical (lookahead on at
+// 1/2/8 workers vs serial) this closes the full scheduler x worker matrix.
+// The -race -short lane keeps one lockstep run so the naive path stays
+// race-checked too.
+func TestPoolLookaheadLockstepIdentical(t *testing.T) {
+	run := func(parallel int, lockstep bool) string {
+		var buf bytes.Buffer
+		if _, err := Pool(Options{Quick: true, Out: &buf, Parallel: parallel,
+			DisableLookahead: lockstep}); err != nil {
+			t.Fatalf("parallel=%d lockstep=%v: %v", parallel, lockstep, err)
+		}
+		return buf.String()
+	}
+	base := run(1, false)
+	counts := []int{1, 2, 8}
+	if testing.Short() {
+		counts = []int{2}
+	}
+	for _, parallel := range counts {
+		if out := run(parallel, true); out != base {
+			t.Fatalf("lockstep parallel=%d diverged from lookahead serial:\n--- lookahead ---\n%s\n--- lockstep ---\n%s",
+				parallel, base, out)
+		}
+	}
+}
+
+// TestFaultPoolLookaheadIdentical: the fault campaign (members with armed
+// fault registries, retries, breakers, rebuilds in play) must table the
+// same bytes with the scheduler on and off — quiet-epoch batching may not
+// move any fault-path event.
+func TestFaultPoolLookaheadIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full campaign twice; pool coverage stays in the -short lane")
+	}
+	run := func(lockstep bool) (FaultPoolResult, string) {
+		var buf bytes.Buffer
+		res, err := FaultPool(Options{Quick: true, Out: &buf, Parallel: 4,
+			DisableLookahead: lockstep})
+		if err != nil {
+			t.Fatalf("lockstep=%v: %v", lockstep, err)
+		}
+		return res, buf.String()
+	}
+	aheadRes, aheadOut := run(false)
+	lockRes, lockOut := run(true)
+	if aheadOut != lockOut {
+		t.Fatalf("scheduler changed campaign output:\n--- lookahead ---\n%s\n--- lockstep ---\n%s",
+			aheadOut, lockOut)
+	}
+	if !reflect.DeepEqual(aheadRes, lockRes) {
+		t.Fatalf("scheduler changed campaign results: %+v vs %+v", aheadRes, lockRes)
+	}
+}
+
+// TestOverloadLookaheadIdentical: same contract for the saturation campaign
+// (deadlines, sheds, retry backoff under load) — the deadline and
+// retry-ready horizons must stop every quiet batch exactly where the naive
+// scheduler would have acted.
+func TestOverloadLookaheadIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full campaign twice; pool coverage stays in the -short lane")
+	}
+	run := func(lockstep bool) (OverloadResult, string) {
+		var buf bytes.Buffer
+		res, err := Overload(Options{Quick: true, Out: &buf, Parallel: 4,
+			DisableLookahead: lockstep})
+		if err != nil {
+			t.Fatalf("lockstep=%v: %v", lockstep, err)
+		}
+		return res, buf.String()
+	}
+	aheadRes, aheadOut := run(false)
+	lockRes, lockOut := run(true)
+	if aheadOut != lockOut {
+		t.Fatalf("scheduler changed campaign output:\n--- lookahead ---\n%s\n--- lockstep ---\n%s",
+			aheadOut, lockOut)
+	}
+	if !reflect.DeepEqual(aheadRes, lockRes) {
+		t.Fatalf("scheduler changed campaign results: %+v vs %+v", aheadRes, lockRes)
+	}
+}

@@ -189,18 +189,19 @@ func overloadMemberCfg() core.Config {
 // members, near-capacity footprints, faults surfaced to the driver) behind
 // 3 channels + 1 hot spare, with the requested admission policy and fault
 // schedule on logical member 1.
-func overloadPool(seed uint64, admission pool.AdmissionPolicy, faultKind string, notify func(pool.Completion)) (*pool.Pool, error) {
+func overloadPool(seed uint64, admission pool.AdmissionPolicy, faultKind string, lockstep bool, notify func(pool.Completion)) (*pool.Pool, error) {
 	cfg := pool.Config{
-		Channels:        3,
-		DIMMsPerChannel: 1,
-		Interleave:      4096,
-		Member:          overloadMemberCfg(),
-		Workers:         1, // points are the parallel axis
-		Seed:            seed,
-		PrefillPages:    -1,
-		Spares:          1,
-		Admission:       admission,
-		Notify:          notify,
+		Channels:         3,
+		DIMMsPerChannel:  1,
+		Interleave:       4096,
+		Member:           overloadMemberCfg(),
+		Workers:          1, // points are the parallel axis
+		Seed:             seed,
+		PrefillPages:     -1,
+		Spares:           1,
+		Admission:        admission,
+		Notify:           notify,
+		DisableLookahead: lockstep,
 		// Same breaker shape as the fault campaign: misses serialize on a
 		// member's driver, so windows must span many epochs.
 		BreakerWindow:      64,
@@ -292,9 +293,9 @@ func overloadGoodput(recs []pool.Completion) float64 {
 // same accounting every point uses). One serial run, the same shape and seed
 // at any o.Parallel — every point's offered rate derives from it, so the
 // whole table is a pure function of the seeds.
-func overloadCalibrate(reqs int) (float64, error) {
+func overloadCalibrate(reqs int, lockstep bool) (float64, error) {
 	var recs []pool.Completion
-	p, err := overloadPool(sim.SplitSeed(17, "overload/cal"), pool.AdmitBlock, "none",
+	p, err := overloadPool(sim.SplitSeed(17, "overload/cal"), pool.AdmitBlock, "none", lockstep,
 		func(c pool.Completion) { recs = append(recs, c) })
 	if err != nil {
 		return 0, fmt.Errorf("overload calibration: %w", err)
@@ -319,7 +320,7 @@ func overloadCalibrate(reqs int) (float64, error) {
 // overloadPoint runs one campaign point. Each point is a fully independent
 // pool (own seed splits for members, faults and workload), so points fan
 // across shards with byte-identical merged output.
-func overloadPoint(pt, reqs int, loads []float64, faults []string, capacity float64, deadline sim.Duration) (OverloadPoint, error) {
+func overloadPoint(pt, reqs int, loads []float64, faults []string, capacity float64, deadline sim.Duration, lockstep bool) (OverloadPoint, error) {
 	loadX := loads[pt%len(loads)]
 	mode := overloadModes[(pt/len(loads))%len(overloadModes)]
 	kind := faults[pt/(len(loads)*len(overloadModes))]
@@ -334,7 +335,7 @@ func overloadPoint(pt, reqs int, loads []float64, faults []string, capacity floa
 		budget = deadline
 	}
 	var recs []pool.Completion
-	p, err := overloadPool(sim.SplitSeed(17, fmt.Sprintf("overload/%d", pt)), admission, kind,
+	p, err := overloadPool(sim.SplitSeed(17, fmt.Sprintf("overload/%d", pt)), admission, kind, lockstep,
 		func(c pool.Completion) { recs = append(recs, c) })
 	if err != nil {
 		return OverloadPoint{}, fmt.Errorf("overload point %d: %w", pt, err)
@@ -405,7 +406,7 @@ func Overload(o Options) (OverloadResult, error) {
 	}
 	points := len(loads) * len(overloadModes) * len(faults)
 
-	capacity, err := overloadCalibrate(reqs)
+	capacity, err := overloadCalibrate(reqs, o.DisableLookahead)
 	if err != nil {
 		return res, err
 	}
@@ -414,7 +415,7 @@ func Overload(o Options) (OverloadResult, error) {
 	res.DeadlineBudget = overloadDeadlineEpochs * epoch
 
 	rows, err := runShards(points, o.workers(), func(pt int) (OverloadPoint, error) {
-		return overloadPoint(pt, reqs, loads, faults, capacity, res.DeadlineBudget)
+		return overloadPoint(pt, reqs, loads, faults, capacity, res.DeadlineBudget, o.DisableLookahead)
 	})
 	if err != nil {
 		return res, err

@@ -60,6 +60,10 @@ type Controller struct {
 	refreshEnabled bool
 	refreshes      uint64
 	nextRefresh    sim.Time
+	// refGen invalidates queued refresh closures: each closure captures the
+	// generation it was scheduled under and becomes a no-op if a warp (see
+	// WarpIdleRefreshes) advanced the engine past it in the meantime.
+	refGen uint64
 
 	wpq    []wpqEntry
 	wpqSeq uint64
@@ -122,8 +126,9 @@ func (c *Controller) scheduleRefresh() {
 	if !c.refreshEnabled {
 		return
 	}
+	gen := c.refGen
 	c.k.ScheduleAt(c.nextRefresh, func() {
-		if !c.refreshEnabled {
+		if !c.refreshEnabled || gen != c.refGen {
 			return
 		}
 		// Hold the data bus for the full programmed tRFC: no host command
@@ -154,6 +159,33 @@ func (c *Controller) scheduleRefresh() {
 		c.nextRefresh = c.nextRefresh.Add(c.cfg.TREFI)
 		c.scheduleRefresh()
 	})
+}
+
+// NextRefreshAt reports when the next REF is due and whether the refresh
+// engine is running. Idle-warp schedulers use it to identify the one
+// pending kernel event on a quiescent member as the refresh closure.
+func (c *Controller) NextRefreshAt() (sim.Time, bool) {
+	return c.nextRefresh, c.refreshEnabled
+}
+
+// InSelfRefresh reports whether the controller has put the DIMM into
+// self-refresh.
+func (c *Controller) InSelfRefresh() bool { return c.selfRefresh }
+
+// WarpIdleRefreshes credits m uncontended refresh cycles without running
+// their events: counters and the cadence advance exactly as if each REF
+// had been granted at its due instant on an otherwise idle channel (so
+// none count as postponed). The previously queued refresh closure is
+// invalidated via the generation counter and a fresh one is scheduled at
+// the new cadence position; the stale closure drains as a no-op.
+func (c *Controller) WarpIdleRefreshes(m uint64) {
+	if m == 0 || !c.refreshEnabled {
+		return
+	}
+	c.refreshes += m
+	c.nextRefresh = c.nextRefresh.Add(sim.Duration(m) * c.cfg.TREFI)
+	c.refGen++
+	c.scheduleRefresh()
 }
 
 func (c *Controller) rowSwitches(n int) int {

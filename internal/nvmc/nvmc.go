@@ -557,6 +557,54 @@ func (c *Controller) postAck(f *cmdFSM) {
 // cpAddr converts a CP-area offset to a DRAM address.
 func (c *Controller) cpAddr(off int64) int64 { return c.layout.CPOffset + off }
 
+// WarpEligible reports whether the controller is in the quiescent
+// steady-state an idle-warp may skip over: window engine on, no fault
+// registry (fault consults burn RNG/hit-counter state), every command slot
+// idle and ready to poll, and every slot's CP word stale — so each warped
+// window would have been an empty poll-only window. polls is the number of
+// CP polls such a window performs (one per slot). The CP words are read
+// through the DRAM's side-effect-free Peek so eligibility probing does not
+// perturb device counters.
+func (c *Controller) WarpEligible() (polls int, ok bool) {
+	if !c.enabled || c.faults != nil {
+		return 0, false
+	}
+	for _, f := range c.fsms {
+		if !f.ready || f.state != engIdle {
+			return 0, false
+		}
+		var word [16]byte
+		if err := c.ch.Device().Peek(c.cpAddr(cmdOffset(f.idx)), word[:]); err != nil {
+			return 0, false
+		}
+		cmd := cp.Decode(leUint64(word[0:8]), leUint64(word[8:16]))
+		if cmd.Phase != f.lastPhase && cmd.Opcode != cp.OpNone {
+			return 0, false // live command queued: the next window has real work
+		}
+	}
+	return len(c.fsms), true
+}
+
+// WarpIdleWindows credits m poll-only extra-tRFC windows without running
+// them, the last opened by a REF at rLast. Each window saw all slots idle,
+// polled each once (stale words), and counted as used — exactly what
+// runWindow does in the quiescent state WarpEligible verifies. Round-robin
+// position advances one step per window as runWindow would.
+func (c *Controller) WarpIdleWindows(m uint64, rLast sim.Time) {
+	if m == 0 || !c.enabled {
+		return
+	}
+	n := len(c.fsms)
+	c.stats.WindowsSeen += m
+	c.stats.WindowsUsed += m
+	c.stats.Polls += m * uint64(n)
+	dev := c.ch.Device()
+	c.windowStart = rLast.Add(dev.Config().StandardTRFC)
+	c.windowEnd = rLast.Add(dev.Config().Timing.TRFC).Add(-c.cfg.WindowGuard)
+	c.windowRefAt = rLast
+	c.rr = (c.rr + int(m%uint64(n))) % n
+}
+
 // flushAll persists every valid dirty slot per the metadata table; used for
 // orderly shutdown through the CP opcode. The power-fail path is PowerFail.
 func (c *Controller) flushAll(done func()) {

@@ -97,6 +97,19 @@ func (b *breaker) observe(failed bool) {
 	}
 }
 
+// quietHorizon bounds quiet-epoch batching for this breaker: an Open
+// breaker's cooldown expiry (the half-open transition, which restores
+// dispatch budget) must land at or before the batch's final replayed tick,
+// never silently inside the span. Closed and half-open breakers impose no
+// bound — with no observations folding in, replayed ticks advance their
+// windows but cannot change their state.
+func (b *breaker) quietHorizon() (int, bool) {
+	if b.state == breakerOpen {
+		return b.cooldown, true
+	}
+	return 0, false
+}
+
 // tick advances the FSM one epoch at the boundary (after observe folding).
 func (b *breaker) tick() {
 	switch b.state {

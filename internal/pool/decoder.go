@@ -97,7 +97,15 @@ func (d *Decoder) Lookup(off int64) (member int, memberOff int64) {
 // Fragments splits the pooled access [off, off+n) at stripe boundaries into
 // per-member extents, in pooled-address order.
 func (d *Decoder) Fragments(off int64, n int) []Extent {
-	var out []Extent
+	return d.FragmentsInto(nil, off, n)
+}
+
+// FragmentsInto is the allocation-free Fragments: extents are appended to
+// buf (reusing its capacity) and the extended slice returned. Per-epoch hot
+// paths that copy the extents out before the next decode pass their scratch
+// buffer here.
+func (d *Decoder) FragmentsInto(buf []Extent, off int64, n int) []Extent {
+	out := buf[:0]
 	for n > 0 {
 		m, mo := d.Lookup(off)
 		span := int(d.gran - off%d.gran)

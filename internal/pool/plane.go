@@ -79,10 +79,13 @@ const (
 	// channel breaker is not closed).
 	AdmitShedNewest
 	// AdmitShedOldest admits the incoming request and displaces the oldest
-	// held fragments' requests until every touched channel is back under
-	// PendingCap. Victims fail typed ErrAdmissionFull. Displacement is pure
-	// FIFO — no read/write preference — deliberate: the policy favors fresh
-	// traffic uniformly.
+	// held fragments' requests to make room, before each held append, so a
+	// channel's held occupancy never exceeds PendingCap — not even
+	// transiently (CheckHealth asserts the high-water mark). Victims fail
+	// typed ErrAdmissionFull. Displacement is pure FIFO — no read/write
+	// preference, and a request large enough to overflow a channel's cap by
+	// itself starts displacing its own oldest fragments — deliberate: the
+	// policy favors fresh traffic uniformly.
 	AdmitShedOldest
 	// AdmitDeadlineAware applies the AdmitShedNewest bounds, and additionally
 	// sheds a deadlined request on admission when any target channel's
@@ -255,14 +258,20 @@ func (p *Pool) Quiesced() bool {
 	return p.terminal() == p.submitted && p.Backlog() == 0 && len(p.rebuilds) == 0
 }
 
-// Drain steps the plane until it quiesces (or the MaxEpochs guard trips).
+// Drain steps the plane until it quiesces (or the MaxEpochs guard trips),
+// batching provably-quiet spans (retry backoffs waiting out their epochs)
+// through the lookahead scheduler.
 func (p *Pool) Drain() error {
 	for !p.Quiesced() {
 		if p.epochs >= p.Cfg.MaxEpochs {
 			return fmt.Errorf("pool: %d epochs without draining (%d/%d requests terminal) — wedged?",
 				p.epochs, p.terminal(), p.submitted)
 		}
-		p.step()
+		if k := p.quietEpochs(p.Cfg.MaxEpochs - p.epochs); k > 1 {
+			p.stepQuiet(k)
+		} else {
+			p.step()
+		}
 	}
 	return nil
 }
@@ -277,7 +286,8 @@ func (p *Pool) terminal() uint64 {
 // enqueues its fragments or sheds the request typed. notify marks
 // plane-submitted requests whose terminal record should reach Poll/Notify.
 func (p *Pool) submitReq(r openloop.Request, notify bool) (uint64, error) {
-	frags := p.Dec.Fragments(r.Off, r.Len)
+	frags := p.Dec.FragmentsInto(p.fragScratch[:0], r.Off, r.Len)
+	p.fragScratch = frags[:0]
 	arrival := p.epoch0.Add(r.Arrival)
 	var deadline sim.Time
 	if r.Deadline > 0 {
@@ -311,18 +321,19 @@ func (p *Pool) submitReq(r openloop.Request, notify bool) (uint64, error) {
 	}
 	for i := range frags {
 		f := &fragment{req: req, member: frags[i].Member, off: frags[i].Off, n: frags[i].Len}
-		ch := p.chans[p.channelOf(f.member)]
+		ci := p.channelOf(f.member)
+		ch := p.chans[ci]
 		if len(ch.queue) < p.Cfg.QueueCap {
 			ch.queue = append(ch.queue, f)
 			ch.ctr.Inc("frags-admitted")
 		} else {
+			if p.Cfg.Admission == AdmitShedOldest {
+				p.displaceOldest(ch, ci)
+			}
 			ch.pending = append(ch.pending, f)
 			ch.ctr.Inc("frags-held")
 		}
 		ch.mark()
-	}
-	if p.Cfg.Admission == AdmitShedOldest {
-		p.shedOldest(frags)
 	}
 	return id, nil
 }
@@ -399,35 +410,40 @@ func (p *Pool) estimatedWait(ci, extra int) sim.Duration {
 	return sim.Duration(int64(ch.ewma) * int64(ahead))
 }
 
-// fragsPerChannel counts a request's fragments per target channel.
-func (p *Pool) fragsPerChannel(frags []Extent) map[int]int {
-	add := make(map[int]int, 2)
+// fragsPerChannel counts a request's fragments per target channel into the
+// pool's reusable scratch buffer (valid until the next call; its callers'
+// lifetimes never overlap).
+func (p *Pool) fragsPerChannel(frags []Extent) []int {
+	if p.chanScratch == nil {
+		p.chanScratch = make([]int, len(p.chans))
+	}
+	add := p.chanScratch
+	for i := range add {
+		add[i] = 0
+	}
 	for i := range frags {
 		add[p.channelOf(frags[i].Member)]++
 	}
 	return add
 }
 
-// shedOldest displaces the oldest held fragments on every channel the new
-// request touched until each is back under PendingCap, iterating channels in
-// canonical order. A displaced fragment's whole request is canceled (typed
-// ErrAdmissionFull): its other waiting fragments are swept at the next
-// boundary, in-flight ones complete and count their pieces.
-func (p *Pool) shedOldest(frags []Extent) {
-	touched := p.fragsPerChannel(frags)
-	for ci := 0; ci < len(p.chans); ci++ {
-		if touched[ci] == 0 {
-			continue
-		}
-		ch := p.chans[ci]
-		for len(ch.pending) > p.Cfg.PendingCap {
-			victim := ch.pending[0]
-			ch.pending = ch.pending[1:]
-			ch.ctr.Inc("frags-shed-oldest")
-			p.cancelRequest(victim.req,
-				fmt.Errorf("pool: channel %d shed oldest held request %d: %w", ci, victim.req.id, ErrAdmissionFull))
-			p.requestPieceDone(victim.req, p.now)
-		}
+// displaceOldest makes room for one incoming held fragment on channel ci
+// under AdmitShedOldest: while the channel sits at PendingCap, the oldest
+// held fragment is removed and its whole request canceled (typed
+// ErrAdmissionFull) — other waiting fragments of the victim are swept at
+// the next boundary, in-flight ones complete and count their pieces.
+// Displacing before the append (admission and retry promotion both call
+// here) keeps held occupancy, and therefore the HeldHW mark, at or under
+// PendingCap at every instant; the old post-append sweep let both
+// overshoot transiently by the incoming request's fragment count.
+func (p *Pool) displaceOldest(ch *channelState, ci int) {
+	for len(ch.pending) > 0 && len(ch.pending) >= p.Cfg.PendingCap {
+		victim := ch.pending[0]
+		ch.pending = ch.pending[1:]
+		ch.ctr.Inc("frags-shed-oldest")
+		p.cancelRequest(victim.req,
+			fmt.Errorf("pool: channel %d shed oldest held request %d: %w", ci, victim.req.id, ErrAdmissionFull))
+		p.requestPieceDone(victim.req, p.now)
 	}
 }
 

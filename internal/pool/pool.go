@@ -149,6 +149,14 @@ type Config struct {
 	BreakerProbes      int          // half-open dispatches per epoch (default 2)
 	BreakerCloseStreak int          // half-open successes to close (default 8)
 	BreakerLatency     sim.Duration // completions slower than this count as failures (0 disables)
+
+	// DisableLookahead forces every member advance through the naive
+	// event-by-event RunUntil and every epoch through the full boundary
+	// body, turning off both the member idle-warp and quiet-epoch batching.
+	// The zero value (lookahead on) is the fast path; the knob exists for
+	// the byte-identity contract tests and the harness speedup measurement
+	// — output is identical either way.
+	DisableLookahead bool
 }
 
 // DefaultConfig returns a laptop-scale pool: 1 channel x 1 DIMM of the
@@ -363,8 +371,14 @@ type Pool struct {
 	chans   []*channelState
 	// svcScratch is collect's reusable per-channel completion-count buffer.
 	svcScratch []int
-	epoch0     sim.Time
-	now        sim.Time
+	// fragScratch is submitReq's reusable decode buffer; extents are copied
+	// into fragments before the next submission reuses it.
+	fragScratch []Extent
+	// chanScratch is fragsPerChannel's reusable per-channel count buffer
+	// (its two callers' lifetimes never overlap).
+	chanScratch []int
+	epoch0      sim.Time
+	now         sim.Time
 
 	// Fault-tolerance state: all boundary-only (single-threaded).
 	health     []*memberHealth // per physical member
@@ -835,7 +849,11 @@ func (p *Pool) promoteRetries() {
 			keep = append(keep, e)
 			continue
 		}
-		ch := p.chans[p.channelOf(e.f.member)]
+		ci := p.channelOf(e.f.member)
+		ch := p.chans[ci]
+		if p.Cfg.Admission == AdmitShedOldest {
+			p.displaceOldest(ch, ci)
+		}
 		ch.pending = append(ch.pending, e.f)
 		ch.ctr.Inc("frags-repromoted")
 		ch.mark()
@@ -858,7 +876,7 @@ func (p *Pool) step() {
 	}
 	p.issueRebuilds()
 	parallelEach(len(p.members), p.Cfg.Workers, func(i int) {
-		p.members[i].sys.K.RunUntil(epochEnd)
+		p.advanceMember(i, epochEnd)
 	})
 	p.collect()
 	p.probeMembers()
@@ -867,6 +885,128 @@ func (p *Pool) step() {
 	}
 	p.now = epochEnd
 	p.deliverCompletions()
+}
+
+// advanceMember runs member i's kernel to the boundary at to — through the
+// cross-layer idle warp (core.FastForwardIdle) unless lookahead is disabled.
+func (p *Pool) advanceMember(i int, to sim.Time) {
+	m := p.members[i]
+	if p.Cfg.DisableLookahead {
+		m.sys.K.RunUntil(to)
+		return
+	}
+	m.sys.FastForwardIdle(to)
+}
+
+// quietEpochs reports how many upcoming epochs — at most limit — are
+// provably quiet: no boundary pass can change front-end state, so the whole
+// span may be replayed in one batch (stepQuiet) with byte-identical results.
+// Quiet requires an empty front end: no held, queued or in-flight fragment
+// on any channel and no active rebuild. The horizon is then bounded by the
+// next cross-member event that needs a real boundary:
+//
+//   - the next health-probe epoch: probes snapshot error counters and
+//     advance Suspect clean-streaks every ProbeEvery epochs, so an
+//     intermediate probe can never be skipped — the batch may at most *end*
+//     on one (stepQuiet replays it there);
+//   - each backoff retry's ready epoch, minus one: the promoting boundary
+//     must be a real step so the promoted fragment meets fill();
+//   - each waiting retry's request deadline: expiry at epoch j compares the
+//     deadline against the previous boundary, so the batch may include
+//     every epoch whose expiry check still precedes the deadline and must
+//     stop before the sweep that dooms the request. A retry whose request
+//     is already canceled disqualifies batching outright — its sweep is due
+//     at the very next boundary;
+//   - an open breaker's cooldown expiry: the half-open transition restores
+//     dispatch budget and must land at or before the batch's final
+//     replayed tick, never silently inside the span.
+//
+// Callers additionally bound limit by MaxEpochs and the next arrival.
+func (p *Pool) quietEpochs(limit int) int {
+	if p.Cfg.DisableLookahead || limit <= 1 {
+		return 0
+	}
+	if len(p.rebuilds) > 0 {
+		return 0
+	}
+	for _, ch := range p.chans {
+		if len(ch.pending)+len(ch.queue)+ch.inflight != 0 {
+			return 0
+		}
+	}
+	k := limit
+	if d := (p.epochs/p.Cfg.ProbeEvery+1)*p.Cfg.ProbeEvery - p.epochs; d < k {
+		k = d
+	}
+	for _, e := range p.retries {
+		if e.f.req.canceled {
+			return 0
+		}
+		if d := e.ready - p.epochs - 1; d < k {
+			k = d
+		}
+		if dl := e.f.req.deadline; dl > 0 {
+			if dl <= p.now {
+				return 0
+			}
+			if d := int((dl.Sub(p.now)-1)/p.Cfg.Epoch) + 1; d < k {
+				k = d
+			}
+		}
+	}
+	for _, ch := range p.chans {
+		if h, ok := ch.brk.quietHorizon(); ok && h < k {
+			k = h
+		}
+	}
+	if k < 0 {
+		return 0
+	}
+	return k
+}
+
+// stepQuiet advances the pool k quiet epochs (quietEpochs' preconditions)
+// in one pass: every member kernel runs — and warps — straight to the final
+// boundary, and the per-epoch boundary effects that still tick in an idle
+// pool are replayed exactly, epoch-major in canonical channel order: the
+// epoch counter, each busy-before channel's service-interval EWMA fold
+// (collect folds the long-run quotient every epoch once a channel has
+// completed work, idle epochs included), and the breaker FSMs. Every other
+// boundary pass (expiry sweep, retry promotion, fill, rebuild issue,
+// collect's drain, completion delivery) is a no-op on a quiet pool. The
+// final epoch may be a probe epoch: probeMembers runs after the members
+// have advanced, self-gated on the epoch counter, with p.now at the same
+// epoch-start boundary step() would give it.
+func (p *Pool) stepQuiet(k int) {
+	end := p.now.Add(sim.Duration(k) * p.Cfg.Epoch)
+	parallelEach(len(p.members), p.Cfg.Workers, func(i int) {
+		p.advanceMember(i, end)
+	})
+	e := p.now
+	for j := 0; j < k; j++ {
+		p.epochs++
+		e = e.Add(p.Cfg.Epoch)
+		for _, ch := range p.chans {
+			if !ch.svcSeen || ch.svcDone == 0 {
+				continue
+			}
+			cum := e.Sub(ch.svcBusyAt) / sim.Duration(ch.svcDone)
+			if cum <= 0 {
+				cum = 1
+			}
+			if ch.ewma == 0 {
+				ch.ewma = cum
+			} else {
+				ch.ewma += (cum - ch.ewma) / 8
+			}
+		}
+		for _, ch := range p.chans {
+			ch.brk.tick()
+		}
+	}
+	p.now = end.Add(-p.Cfg.Epoch)
+	p.probeMembers()
+	p.now = end
 }
 
 // Run drains requests from next (until it reports false) through the pool
@@ -899,7 +1039,22 @@ func (p *Pool) Run(next func() (openloop.Request, bool)) error {
 			p.submitReq(*look, false)
 			look = nil
 		}
-		p.step()
+		// Lookahead: bound a quiet batch by the next buffered arrival (or,
+		// once the source is dry and the pool quiesced, take the single
+		// bookkeeping step the naive loop would).
+		limit := p.Cfg.MaxEpochs - p.epochs
+		if look != nil {
+			if g := int(p.epoch0.Add(look.Arrival).Sub(p.now) / p.Cfg.Epoch); g < limit {
+				limit = g
+			}
+		} else if exhausted && p.Quiesced() {
+			limit = 0
+		}
+		if k := p.quietEpochs(limit); k > 1 {
+			p.stepQuiet(k)
+		} else {
+			p.step()
+		}
 		if exhausted && look == nil && p.Quiesced() {
 			return nil
 		}
@@ -1097,6 +1252,16 @@ func (p *Pool) CheckHealth() error {
 	}
 	if p.postQuarantine != 0 {
 		return fmt.Errorf("pool: %d fragments dispatched to quarantined members", p.postQuarantine)
+	}
+	if p.Cfg.Admission == AdmitShedOldest {
+		// Displacement now happens before each append, so held occupancy —
+		// and therefore its high-water mark — never exceeds PendingCap.
+		for i, ch := range p.chans {
+			if ch.heldHW > p.Cfg.PendingCap {
+				return fmt.Errorf("pool: channel %d held high-water %d over PendingCap %d under shed-oldest",
+					i, ch.heldHW, p.Cfg.PendingCap)
+			}
+		}
 	}
 	if len(p.retries) != 0 {
 		return fmt.Errorf("pool: %d fragments stranded in retry backoff", len(p.retries))

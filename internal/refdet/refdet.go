@@ -132,6 +132,22 @@ func (d *Detector) Enabled() bool { return d.enabled }
 // Stats returns the accumulated detection statistics.
 func (d *Detector) Stats() Stats { return d.stats }
 
+// WarpIdleRefreshCycles credits m clean PREA+REF refresh cycles without
+// sampling them: two samples per cycle (PREA then REF), the REF decoding
+// as a true-positive detection. Legal only on a noise-free detector
+// (BitErrorRate zero, no fault registry) — the caller owns that proof —
+// so no RNG draws are consumed and the deserializer state (untouched by
+// the SampleCommand path) needs no adjustment. Detection events are not
+// scheduled; the caller warps the downstream consumer directly.
+func (d *Detector) WarpIdleRefreshCycles(m uint64) {
+	if m == 0 || !d.enabled {
+		return
+	}
+	d.stats.Samples += 2 * m
+	d.stats.Detections += m
+	d.stats.TruePositives += m
+}
+
 // Snoop returns the CA-bus observer to attach to the channel.
 func (d *Detector) Snoop() func(at sim.Time, s ddr4.CAState) {
 	return func(at sim.Time, s ddr4.CAState) { d.SampleCommand(at, s) }

@@ -75,6 +75,22 @@ func (r *Resource) dispatch() {
 	r.start(g, now)
 }
 
+// WarpGrants credits n uncontended grants of hold picoseconds each, the
+// last one starting at lastStart, without running any events. The caller
+// owns the proof that the resource is idle and uncontended across every
+// warped grant (no queue, each grant's hold ends before the next starts);
+// counters and the release instant then land exactly where n real Acquire
+// calls would have left them. No dispatcher events are scheduled — warped
+// grants have no queue to drain.
+func (r *Resource) WarpGrants(n uint64, hold Duration, lastStart Time) {
+	if n == 0 {
+		return
+	}
+	r.busyUntil = lastStart.Add(hold)
+	r.Busy += Duration(n) * hold
+	r.Grants += n
+}
+
 // QueueLen reports the number of waiting requests (not counting the one in
 // service).
 func (r *Resource) QueueLen() int { return len(r.queue) }

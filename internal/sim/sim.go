@@ -147,6 +147,16 @@ func (k *Kernel) Now() Time { return k.now }
 // Pending reports the number of events still queued.
 func (k *Kernel) Pending() int { return len(k.events) }
 
+// NextAt peeks at the earliest queued event's timestamp without executing
+// it; ok is false when the queue is empty. Schedulers use it to prove a
+// kernel idle through a horizon before skipping event-by-event execution.
+func (k *Kernel) NextAt() (t Time, ok bool) {
+	if len(k.events) == 0 {
+		return 0, false
+	}
+	return k.events[0].at, true
+}
+
 // Processed reports the number of events executed so far.
 func (k *Kernel) Processed() uint64 { return k.nProcessed }
 

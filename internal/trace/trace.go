@@ -174,6 +174,16 @@ func (r *Recorder) Attach(s Sink) {
 // Active reports whether any sink is attached (nil-safe).
 func (r *Recorder) Active() bool { return r != nil && len(r.sinks) > 0 }
 
+// Sinks reports how many sinks are attached (nil-safe). Idle-warp
+// eligibility checks use it to detect observers that would miss warped
+// events (only sinks the warp explicitly replays into may be attached).
+func (r *Recorder) Sinks() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.sinks)
+}
+
 // Record publishes one event to every sink (nil-safe).
 func (r *Recorder) Record(e Event) {
 	if r == nil {

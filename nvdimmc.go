@@ -223,6 +223,17 @@ func Experiments(opts ExperimentOptions) map[string]func() error {
 				hl("6ch-4K-MBps", res.At(6, 4).MBps)
 				hl("scaling-x", res.ScalingX())
 				hl("6ch-4K-p99-ns", float64(res.At(6, 4).P99.Nanoseconds()))
+				// Harness-performance headlines from the idle-heavy rated
+				// segment. The "~" prefix marks them advisory: wall-clock
+				// derived, machine- and load-dependent, tracked in snapshots
+				// but never gated by benchdiff.
+				if res.IdleWallLockstepMS > 0 && res.IdleWallLookaheadMS > 0 {
+					wallSecLock := res.IdleWallLockstepMS / 1000
+					wallSecAhead := res.IdleWallLookaheadMS / 1000
+					hl("~6ch-idle-epochs-per-sec-lockstep", float64(res.IdleEpochs)/wallSecLock)
+					hl("~6ch-idle-epochs-per-sec-lookahead", float64(res.IdleEpochs)/wallSecAhead)
+					hl("~6ch-idle-speedup-x", res.IdleSpeedupX())
+				}
 			}
 			return err
 		},
