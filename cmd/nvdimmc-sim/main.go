@@ -24,6 +24,17 @@
 // backlog. Any of them switches to pooled mode:
 //
 //	nvdimmc-sim -channels 3 -rate 2e6 -admission deadline-aware -deadline 2000 -ops 3000
+//
+// -qos replaces the single open-loop tenant with a multi-tenant mix carrying
+// per-tenant QoS contracts. Each comma-separated entry is one tenant,
+// dist:weight:qosweight:limit:burst:slo_us — arrival distribution (zipf |
+// uni), relative arrival weight, DRR service weight, token-bucket rate in
+// ops/sec (0 = unpoliced), bucket burst, and p99 SLO in microseconds (0 =
+// untracked). -isolation arms enforcement (buckets + deficit-round-robin
+// dispatch); off, the contracts are tracked but not enforced. The run ends
+// with a per-tenant table:
+//
+//	nvdimmc-sim -channels 3 -rate 5e5 -qos "zipf:8:1:40000:32:0,uni:1:1:0:0:1500" -ops 3000
 package main
 
 import (
@@ -61,15 +72,18 @@ func main() {
 	admission := flag.String("admission", "block", "pooled socket: admission policy: block | shed-newest | shed-oldest | deadline-aware")
 	deadline := flag.Float64("deadline", 0, "pooled socket: per-request completion budget in microseconds (0 = none)")
 	pendingCap := flag.Int("pendingcap", 0, "pooled socket: per-channel admission-held backlog cap in fragments (0 = default)")
+	qos := flag.String("qos", "", "pooled socket: comma-separated dist:weight:qosweight:limit:burst:slo_us tenant contracts (dist: zipf | uni)")
+	isolation := flag.Bool("isolation", true, "pooled socket: with -qos, enforce the contracts (token buckets + DRR dispatch) rather than only tracking them")
 	flag.Parse()
 
 	if *channels > 1 || *dimms > 1 || *spares > 0 || *faults != "" ||
-		*admission != "block" || *deadline > 0 || *pendingCap > 0 {
+		*admission != "block" || *deadline > 0 || *pendingCap > 0 || *qos != "" {
 		runPool(poolOpts{
 			channels: *channels, dimms: *dimms, interleave: *interleave,
 			rate: *rate, rw: *rw, bs: *bs, ops: *ops,
 			spares: *spares, faults: *faults,
 			admission: *admission, deadlineUS: *deadline, pendingCap: *pendingCap,
+			qos: *qos, isolation: *isolation,
 		})
 		return
 	}
@@ -223,6 +237,47 @@ type poolOpts struct {
 	admission       string
 	deadlineUS      float64
 	pendingCap      int
+	qos             string
+	isolation       bool
+}
+
+// parseQoS parses the -qos flag: one tenant per comma-separated
+// dist:weight:qosweight:limit:burst:slo_us entry. Footprints are assigned by
+// the caller (an even split of the pool footprint).
+func parseQoS(spec string, readPct, bs int) []openloop.Tenant {
+	var out []openloop.Tenant
+	for i, part := range strings.Split(spec, ",") {
+		f := strings.Split(strings.TrimSpace(part), ":")
+		if len(f) != 6 {
+			fmt.Fprintf(os.Stderr, "nvdimmc-sim: bad -qos entry %q (want dist:weight:qosweight:limit:burst:slo_us)\n", part)
+			os.Exit(2)
+		}
+		var dist openloop.Dist
+		switch f[0] {
+		case "zipf":
+			dist = openloop.Zipfian
+		case "uni":
+			dist = openloop.Uniform
+		default:
+			fmt.Fprintf(os.Stderr, "nvdimmc-sim: unknown -qos distribution %q (want zipf | uni)\n", f[0])
+			os.Exit(2)
+		}
+		weight, err1 := strconv.ParseFloat(f[1], 64)
+		qosWeight, err2 := strconv.ParseFloat(f[2], 64)
+		limit, err3 := strconv.ParseFloat(f[3], 64)
+		burst, err4 := strconv.Atoi(f[4])
+		sloUS, err5 := strconv.ParseFloat(f[5], 64)
+		if err1 != nil || err2 != nil || err3 != nil || err4 != nil || err5 != nil {
+			fmt.Fprintf(os.Stderr, "nvdimmc-sim: bad -qos entry %q: numeric fields required\n", part)
+			os.Exit(2)
+		}
+		out = append(out, openloop.Tenant{
+			Name: fmt.Sprintf("t%d", i), Dist: dist, Weight: weight, ReadPct: readPct,
+			BlockSize: bs, QoSWeight: qosWeight, LimitPerSec: limit, Burst: burst,
+			SLOP99: sim.Duration(sloUS * float64(sim.Microsecond)),
+		})
+	}
+	return out
 }
 
 // runPool drives the interleaved multi-channel pool with a single-tenant
@@ -263,6 +318,10 @@ func runPool(o poolOpts) {
 		fmt.Fprintln(os.Stderr, "nvdimmc-sim:", err)
 		os.Exit(2)
 	}
+	var qosTenants []openloop.Tenant
+	if o.qos != "" {
+		qosTenants = parseQoS(o.qos, readPct, bs)
+	}
 	cfg := pool.Config{
 		Channels:        channels,
 		DIMMsPerChannel: dimms,
@@ -275,6 +334,7 @@ func runPool(o poolOpts) {
 		Spares:          spares,
 		Admission:       policy,
 		PendingCap:      o.pendingCap,
+		QoS:             pool.QoSFromTenants(qosTenants, o.isolation && o.qos != ""),
 	}
 	if specs != nil {
 		cfg.ArmFaults = func(m int, g *fault.Registry) { armSpecs(specs, m, g) }
@@ -285,14 +345,24 @@ func runPool(o poolOpts) {
 	if faults != "" {
 		foot = p.Capacity() - p.Capacity()%interleave
 	}
+	tenants := []openloop.Tenant{
+		{Name: "cli", Dist: openloop.Uniform, ReadPct: readPct,
+			BlockSize: bs, Footprint: foot},
+	}
+	if qosTenants != nil {
+		// Even page-aligned footprint split across the -qos tenants.
+		per := (foot / int64(len(qosTenants))) &^ 4095
+		for i := range qosTenants {
+			qosTenants[i].Footprint = per
+			qosTenants[i].Offset = int64(i) * per
+		}
+		tenants = qosTenants
+	}
 	gen, err := openloop.New(openloop.Config{
 		Seed:       7,
 		RatePerSec: rate,
 		Deadline:   sim.Duration(o.deadlineUS * float64(sim.Microsecond)),
-		Tenants: []openloop.Tenant{
-			{Name: "cli", Dist: openloop.Uniform, ReadPct: readPct,
-				BlockSize: bs, Footprint: foot},
-		},
+		Tenants:    tenants,
 	})
 	die(err)
 	die(p.RunOpenLoop(gen, ops))
@@ -309,6 +379,24 @@ func runPool(o poolOpts) {
 		fmt.Printf("ch%d: reqs=%d bytes=%d p99=%v heldHW=%d queueHW=%d svc-ewma=%v breaker=%s\n",
 			i, ch.Lat.Count(), ch.Meter.Bytes(), ch.Lat.Percentile(99),
 			ch.HeldHW, ch.QueueHW, ch.ServiceEWMA, ch.Breaker)
+	}
+	if len(s.PerTenant) > 0 {
+		fmt.Printf("qos: isolation=%v throttled=%d\n", o.isolation, s.Throttled)
+		for _, ts := range s.PerTenant {
+			slo, verdict := "-", "-"
+			if ts.SLOP99 > 0 {
+				slo = fmt.Sprint(ts.SLOP99)
+				if ts.SLOViolated() {
+					verdict = "VIOLATED"
+				} else {
+					verdict = "met"
+				}
+			}
+			fmt.Printf("  %-4s w=%g bucket=%g/s burst=%d done=%d thr=%d shed=%d expired=%d failed=%d p99=%v p999=%v slo=%s %s\n",
+				ts.Name, ts.Weight, ts.RatePerSec, ts.Burst, ts.Completed, ts.Throttled,
+				ts.Shed, ts.Expired, ts.Failed, ts.Lat.Percentile(99), ts.Lat.Percentile(99.9),
+				slo, verdict)
+		}
 	}
 	if spares > 0 || faults != "" {
 		fmt.Printf("faults: failed=%d retries=%d trips=%d suspects=%d quarantined=%d evacuated=%d spares-used=%d rebuild-pages=%d post-quarantine=%d\n",

@@ -136,6 +136,12 @@ const (
 	OutcomeExpired
 	// OutcomeFailed: typed failure (retries exhausted, member quarantined).
 	OutcomeFailed
+	// OutcomeThrottled: refused by the tenant's token bucket (qos.go).
+	// Throttling is synchronous at Submit — the caller holds the typed
+	// ErrTenantThrottled and no Completion record is produced — so the
+	// outcome appears only if a future path retires a throttled request
+	// asynchronously.
+	OutcomeThrottled
 )
 
 func (o Outcome) String() string {
@@ -148,6 +154,8 @@ func (o Outcome) String() string {
 		return "expired"
 	case OutcomeFailed:
 		return "failed"
+	case OutcomeThrottled:
+		return "throttled"
 	}
 	return fmt.Sprintf("Outcome(%d)", int(o))
 }
@@ -232,7 +240,7 @@ func (p *Pool) Occupancy() []ChannelOccupancy {
 	out := make([]ChannelOccupancy, len(p.chans))
 	for i, ch := range p.chans {
 		out[i] = ChannelOccupancy{
-			Held:        len(ch.pending),
+			Held:        ch.held(),
 			Queued:      len(ch.queue),
 			InFlight:    ch.inflight,
 			Breaker:     ch.brk.state.String(),
@@ -247,7 +255,7 @@ func (p *Pool) Occupancy() []ChannelOccupancy {
 func (p *Pool) Backlog() int {
 	n := len(p.retries)
 	for _, ch := range p.chans {
-		n += len(ch.pending) + len(ch.queue) + ch.inflight
+		n += ch.held() + len(ch.queue) + ch.inflight
 	}
 	return n
 }
@@ -279,7 +287,7 @@ func (p *Pool) Drain() error {
 // terminal is the conservation left-hand side: every request that reached an
 // outcome.
 func (p *Pool) terminal() uint64 {
-	return p.completed + p.failed + p.shed + p.expired
+	return p.completed + p.failed + p.shed + p.expired + p.throttled
 }
 
 // submitReq decodes one arrival, applies the admission policy, and either
@@ -299,11 +307,29 @@ func (p *Pool) submitReq(r openloop.Request, notify bool) (uint64, error) {
 	if r.Write {
 		p.writesIn++
 	}
+	ts := p.qosTenant(r.Tenant)
+
+	// Token-bucket policing gates admission before every other policy: a
+	// tenant over its rate is refused here, synchronously and typed, before
+	// its fragments could occupy any queue. Enforcement is armed only under
+	// QoS isolation; tracking-only configs never throttle.
+	if p.Cfg.QoS.Isolation && !ts.admitBucket() {
+		p.throttled++
+		if r.Write {
+			p.writesThrottled++
+		}
+		ts.throttled++
+		p.chans[p.channelOf(frags[0].Member)].ctr.Inc("requests-throttled")
+		return id, fmt.Errorf("pool: tenant %d: %w", r.Tenant, ErrTenantThrottled)
+	}
 
 	if reason := p.shedAtAdmission(frags, r.Write, arrival, deadline); reason != nil {
 		p.shed++
 		if r.Write {
 			p.writesShed++
+		}
+		if ts != nil {
+			ts.shed++
 		}
 		p.chans[p.channelOf(frags[0].Member)].ctr.Inc("requests-shed")
 		return id, reason
@@ -315,6 +341,7 @@ func (p *Pool) submitReq(r openloop.Request, notify bool) (uint64, error) {
 		deadline:  deadline,
 		write:     r.Write,
 		tenant:    r.Tenant,
+		bytes:     r.Len,
 		notify:    notify,
 		remaining: len(frags),
 		channel0:  p.channelOf(frags[0].Member),
@@ -323,10 +350,22 @@ func (p *Pool) submitReq(r openloop.Request, notify bool) (uint64, error) {
 		f := &fragment{req: req, member: frags[i].Member, off: frags[i].Off, n: frags[i].Len}
 		ci := p.channelOf(f.member)
 		ch := p.chans[ci]
-		if len(ch.queue) < p.Cfg.QueueCap {
+		switch {
+		case len(ch.tq) > 0:
+			// Isolation: every fragment waits in its tenant's FIFO and enters
+			// the queue through the DRR refill at the next boundary — a single
+			// ordering authority, so a burst cannot bypass the round robin
+			// through the direct-to-queue fast path.
+			if p.Cfg.Admission == AdmitShedOldest {
+				p.displaceOldest(ch, ci)
+			}
+			qi := p.qosIndex(r.Tenant)
+			ch.tq[qi].fifo = append(ch.tq[qi].fifo, f)
+			ch.ctr.Inc("frags-held")
+		case len(ch.queue) < p.Cfg.QueueCap:
 			ch.queue = append(ch.queue, f)
 			ch.ctr.Inc("frags-admitted")
-		} else {
+		default:
 			if p.Cfg.Admission == AdmitShedOldest {
 				p.displaceOldest(ch, ci)
 			}
@@ -363,10 +402,10 @@ func (p *Pool) shedAtAdmission(frags []Extent, write bool, arrival, deadline sim
 			}
 			limit /= 2
 		}
-		if len(ch.pending)+n > limit {
+		if ch.held()+n > limit {
 			ch.ctr.Inc("shed-pending-full")
 			return fmt.Errorf("pool: channel %d held %d+%d over cap %d: %w",
-				ci, len(ch.pending), n, limit, ErrAdmissionFull)
+				ci, ch.held(), n, limit, ErrAdmissionFull)
 		}
 		if p.Cfg.Admission == AdmitDeadlineAware && deadline > 0 {
 			if wait := p.estimatedWait(ci, n); wait >= 0 {
@@ -406,7 +445,7 @@ func (p *Pool) estimatedWait(ci, extra int) sim.Duration {
 	if ch.ewma <= 0 {
 		return -1
 	}
-	ahead := len(ch.pending) + len(ch.queue) + ch.inflight + extra
+	ahead := ch.held() + len(ch.queue) + ch.inflight + extra
 	return sim.Duration(int64(ch.ewma) * int64(ahead))
 }
 
@@ -435,11 +474,24 @@ func (p *Pool) fragsPerChannel(frags []Extent) []int {
 // Displacing before the append (admission and retry promotion both call
 // here) keeps held occupancy, and therefore the HeldHW mark, at or under
 // PendingCap at every instant; the old post-append sweep let both
-// overshoot transiently by the incoming request's fragment count.
+// overshoot transiently by the incoming request's fragment count. Under QoS
+// isolation the held backlog is split across per-tenant FIFOs; the victim
+// is the globally oldest head (request IDs are submission-ordered), so the
+// policy stays pure FIFO across tenants.
 func (p *Pool) displaceOldest(ch *channelState, ci int) {
-	for len(ch.pending) > 0 && len(ch.pending) >= p.Cfg.PendingCap {
-		victim := ch.pending[0]
-		ch.pending = ch.pending[1:]
+	for ch.held() > 0 && ch.held() >= p.Cfg.PendingCap {
+		list := &ch.pending
+		for i := range ch.tq {
+			q := &ch.tq[i].fifo
+			if len(*q) == 0 {
+				continue
+			}
+			if len(*list) == 0 || (*q)[0].req.id < (*list)[0].req.id {
+				list = q
+			}
+		}
+		victim := (*list)[0]
+		*list = (*list)[1:]
 		ch.ctr.Inc("frags-shed-oldest")
 		p.cancelRequest(victim.req,
 			fmt.Errorf("pool: channel %d shed oldest held request %d: %w", ci, victim.req.id, ErrAdmissionFull))
@@ -480,6 +532,9 @@ func (p *Pool) expireAndSweep() {
 	}
 	for _, ch := range p.chans {
 		ch.pending = p.sweepList(ch, ch.pending, doomed)
+		for i := range ch.tq {
+			ch.tq[i].fifo = p.sweepList(ch, ch.tq[i].fifo, doomed)
+		}
 		ch.queue = p.sweepList(ch, ch.queue, doomed)
 	}
 	if len(p.retries) > 0 {

@@ -132,6 +132,9 @@ type Config struct {
 	// Admission selects the front-end admission policy (default AdmitBlock,
 	// the hold-everything behavior; see plane.go for the shedding policies).
 	Admission AdmissionPolicy
+	// QoS configures per-tenant token-bucket policing, DRR dispatch and SLO
+	// tracking (qos.go). The zero value keeps the legacy tenant-blind path.
+	QoS QoSConfig
 	// PendingCap bounds each channel's admission-held backlog in fragments
 	// under the shedding policies (default 256; AdmitBlock ignores it and
 	// holds unbounded).
@@ -250,6 +253,9 @@ func (c *Config) fillDefaults() error {
 	if c.BreakerCloseStreak <= 0 {
 		c.BreakerCloseStreak = 8
 	}
+	if err := c.QoS.validate(); err != nil {
+		return err
+	}
 	return nil
 }
 
@@ -263,6 +269,7 @@ type request struct {
 	deadline  sim.Time
 	write     bool
 	tenant    int
+	bytes     int // total request length: per-tenant goodput metering
 	remaining int
 	lastDone  sim.Time
 	channel0  int // channel of the first fragment: latency attribution
@@ -346,6 +353,14 @@ type channelState struct {
 	// overload observable that used to be invisible until memory grew.
 	heldHW  int
 	queueHW int
+	// tq holds the per-tenant admission FIFOs when QoS isolation is armed
+	// (last slot: catch-all for out-of-range tenant indexes); pending stays
+	// the tenant-blind held list otherwise. drrNext is the persistent DRR
+	// round pointer; drrMid marks a visit cut short by queue room (not
+	// credit), which must resume in place without a fresh quantum (qos.go).
+	tq      []tenantQueue
+	drrNext int
+	drrMid  bool
 	lat     *metrics.Histogram
 	meter   *metrics.Meter
 	ctr     *metrics.Counters
@@ -354,7 +369,7 @@ type channelState struct {
 // mark folds the current occupancy into the high-water marks; called at
 // every boundary mutation point that can grow a list.
 func (ch *channelState) mark() {
-	if n := len(ch.pending); n > ch.heldHW {
+	if n := ch.held(); n > ch.heldHW {
 		ch.heldHW = n
 	}
 	if n := len(ch.queue); n > ch.queueHW {
@@ -413,6 +428,14 @@ type Pool struct {
 	writesFailed  uint64
 	writesShed    uint64
 	writesExpired uint64
+	// throttled counts requests refused at admission by their tenant's token
+	// bucket (typed ErrTenantThrottled) — terminal like shed.
+	throttled       uint64
+	writesThrottled uint64
+	// qosT is the per-tenant QoS runtime state (len(Cfg.QoS.Tenants)+1, the
+	// last a catch-all; nil when QoS is off). Boundary-only, like all
+	// cross-member state.
+	qosT []tenantState
 	// untypedFailures counts requests that failed without ErrPoolDegraded /
 	// ErrMemberQuarantined in the chain; CheckHealth demands zero.
 	untypedFailures uint64
@@ -538,6 +561,7 @@ func New(cfg Config) (*Pool, error) {
 			ctr:   ctr,
 		}
 	}
+	p.initQoS()
 	return p, nil
 }
 
@@ -571,10 +595,14 @@ func (p *Pool) channelOf(memberIdx int) int { return memberIdx % p.Cfg.Channels 
 // breaker cannot wedge the queue behind undeliverable fragments.
 func (p *Pool) fill(ci int) {
 	ch := p.chans[ci]
-	for len(ch.pending) > 0 && len(ch.queue) < p.Cfg.QueueCap {
-		ch.queue = append(ch.queue, ch.pending[0])
-		ch.pending = ch.pending[1:]
-		ch.ctr.Inc("frags-admitted")
+	if len(ch.tq) > 0 {
+		p.fillDRR(ch)
+	} else {
+		for len(ch.pending) > 0 && len(ch.queue) < p.Cfg.QueueCap {
+			ch.queue = append(ch.queue, ch.pending[0])
+			ch.pending = ch.pending[1:]
+			ch.ctr.Inc("frags-admitted")
+		}
 	}
 	ch.mark()
 	budget := ch.brk.budget()
@@ -600,7 +628,7 @@ func (p *Pool) fill(ci int) {
 	if dispatched {
 		ch.ctr.Inc("dispatch-batches")
 	}
-	if held := len(ch.pending); held > p.heldPeak {
+	if held := ch.held(); held > p.heldPeak {
 		p.heldPeak = held
 	}
 }
@@ -691,7 +719,7 @@ func (p *Pool) collect() {
 	// work is not evidence of a slow channel.
 	end := p.now.Add(p.Cfg.Epoch)
 	for ci, ch := range p.chans {
-		busy := svcDone[ci] > 0 || ch.inflight > 0 || len(ch.queue) > 0 || len(ch.pending) > 0
+		busy := svcDone[ci] > 0 || ch.inflight > 0 || len(ch.queue) > 0 || ch.held() > 0
 		if !ch.svcSeen {
 			if !busy {
 				continue
@@ -777,6 +805,7 @@ func (p *Pool) requestPieceDone(r *request, at sim.Time) {
 		return
 	}
 	ch0 := p.chans[r.channel0]
+	ts := p.qosTenant(r.tenant)
 	rec := Completion{
 		ID:      r.id,
 		Tenant:  r.tenant,
@@ -797,12 +826,30 @@ func (p *Pool) requestPieceDone(r *request, at sim.Time) {
 		if r.write {
 			p.writesAck++
 		}
+		if ts != nil {
+			ts.completed++
+			ts.lat.Record(lat)
+			ts.meter.Record(r.lastDone, r.bytes)
+			if ts.cfg.SLOP99 > 0 && lat > ts.cfg.SLOP99 {
+				ts.overSLO++
+			}
+		}
 		if r.deadline > 0 && r.lastDone > r.deadline {
 			rec.Late = true
 			rec.Lateness = r.lastDone.Sub(r.deadline)
 			p.completedLate++
 			p.latMiss.Record(rec.Lateness)
 			ch0.ctr.Inc("requests-late")
+		}
+	case errors.Is(r.err, ErrTenantThrottled):
+		rec.Outcome = OutcomeThrottled
+		ch0.ctr.Inc("requests-throttled")
+		p.throttled++
+		if r.write {
+			p.writesThrottled++
+		}
+		if ts != nil {
+			ts.throttled++
 		}
 	case errors.Is(r.err, ErrAdmissionFull):
 		rec.Outcome = OutcomeShed
@@ -811,6 +858,9 @@ func (p *Pool) requestPieceDone(r *request, at sim.Time) {
 		if r.write {
 			p.writesShed++
 		}
+		if ts != nil {
+			ts.shed++
+		}
 	case errors.Is(r.err, ErrDeadlineExceeded):
 		rec.Outcome = OutcomeExpired
 		ch0.ctr.Inc("requests-expired")
@@ -818,12 +868,18 @@ func (p *Pool) requestPieceDone(r *request, at sim.Time) {
 		if r.write {
 			p.writesExpired++
 		}
+		if ts != nil {
+			ts.expired++
+		}
 	default:
 		rec.Outcome = OutcomeFailed
 		ch0.ctr.Inc("requests-failed")
 		p.failed++
 		if r.write {
 			p.writesFailed++
+		}
+		if ts != nil {
+			ts.failed++
 		}
 		if p.firstFailure == nil {
 			p.firstFailure = r.err
@@ -854,7 +910,12 @@ func (p *Pool) promoteRetries() {
 		if p.Cfg.Admission == AdmitShedOldest {
 			p.displaceOldest(ch, ci)
 		}
-		ch.pending = append(ch.pending, e.f)
+		if len(ch.tq) > 0 {
+			qi := p.qosIndex(e.f.req.tenant)
+			ch.tq[qi].fifo = append(ch.tq[qi].fifo, e.f)
+		} else {
+			ch.pending = append(ch.pending, e.f)
+		}
 		ch.ctr.Inc("frags-repromoted")
 		ch.mark()
 	}
@@ -869,6 +930,7 @@ func (p *Pool) promoteRetries() {
 func (p *Pool) step() {
 	p.epochs++
 	epochEnd := p.now.Add(p.Cfg.Epoch)
+	p.refillTokens()
 	p.expireAndSweep()
 	p.promoteRetries()
 	for ci := range p.chans {
@@ -930,7 +992,7 @@ func (p *Pool) quietEpochs(limit int) int {
 		return 0
 	}
 	for _, ch := range p.chans {
-		if len(ch.pending)+len(ch.queue)+ch.inflight != 0 {
+		if ch.held()+len(ch.queue)+ch.inflight != 0 {
 			return 0
 		}
 	}
@@ -969,7 +1031,9 @@ func (p *Pool) quietEpochs(limit int) int {
 // in one pass: every member kernel runs — and warps — straight to the final
 // boundary, and the per-epoch boundary effects that still tick in an idle
 // pool are replayed exactly, epoch-major in canonical channel order: the
-// epoch counter, each busy-before channel's service-interval EWMA fold
+// epoch counter, the per-tenant token-bucket refills (the same one-addition-
+// per-epoch sequence step() performs, so bucket levels stay bit-identical to
+// the naive path), each busy-before channel's service-interval EWMA fold
 // (collect folds the long-run quotient every epoch once a channel has
 // completed work, idle epochs included), and the breaker FSMs. Every other
 // boundary pass (expiry sweep, retry promotion, fill, rebuild issue,
@@ -986,6 +1050,7 @@ func (p *Pool) stepQuiet(k int) {
 	for j := 0; j < k; j++ {
 		p.epochs++
 		e = e.Add(p.Cfg.Epoch)
+		p.refillTokens()
 		for _, ch := range p.chans {
 			if !ch.svcSeen || ch.svcDone == 0 {
 				continue
@@ -1099,13 +1164,20 @@ type Stats struct {
 	Completed uint64
 	// Failed counts requests that terminated with a typed fault error
 	// (retries exhausted or member quarantined with no spare). Completed +
-	// Failed + Shed + Expired == Submitted once the pool drains.
+	// Failed + Shed + Expired + Throttled == Submitted once the pool drains.
 	Failed uint64
 	// Shed counts requests dropped typed (ErrAdmissionFull) by an admission
 	// policy; Expired counts requests whose deadline passed before
 	// completion (ErrDeadlineExceeded). Both are terminal outcomes.
 	Shed    uint64
 	Expired uint64
+	// Throttled counts requests refused at admission by their tenant's token
+	// bucket (typed ErrTenantThrottled) — terminal like Shed.
+	Throttled       uint64
+	WritesThrottled uint64
+	// PerTenant carries each configured QoS tenant's view, tenant order
+	// (nil when Cfg.QoS is off).
+	PerTenant []TenantStats
 	// CompletedLate counts completions that landed past their deadline —
 	// completed work, just late; LatMiss holds their overshoot.
 	CompletedLate uint64
@@ -1179,6 +1251,9 @@ func (p *Pool) Stats() Stats {
 		Failed:                   p.failed,
 		Shed:                     p.shed,
 		Expired:                  p.expired,
+		Throttled:                p.throttled,
+		WritesThrottled:          p.writesThrottled,
+		PerTenant:                p.tenantStats(),
 		CompletedLate:            p.completedLate,
 		WritesIn:                 p.writesIn,
 		WritesAcked:              p.writesAck,
@@ -1240,12 +1315,15 @@ func (p *Pool) Members() int { return len(p.members) }
 // their sickness is the pool's job, and it did.
 func (p *Pool) CheckHealth() error {
 	if p.terminal() != p.submitted {
-		return fmt.Errorf("pool: %d of %d requests unaccounted (completed %d + shed %d + expired %d + failed %d)",
-			p.submitted-p.terminal(), p.submitted, p.completed, p.shed, p.expired, p.failed)
+		return fmt.Errorf("pool: %d of %d requests unaccounted (completed %d + shed %d + expired %d + failed %d + throttled %d)",
+			p.submitted-p.terminal(), p.submitted, p.completed, p.shed, p.expired, p.failed, p.throttled)
 	}
-	if p.writesAck+p.writesFailed+p.writesShed+p.writesExpired != p.writesIn {
-		return fmt.Errorf("pool: %d writes admitted but %d acked + %d typed-failed + %d shed + %d expired (acked-write loss)",
-			p.writesIn, p.writesAck, p.writesFailed, p.writesShed, p.writesExpired)
+	if p.writesAck+p.writesFailed+p.writesShed+p.writesExpired+p.writesThrottled != p.writesIn {
+		return fmt.Errorf("pool: %d writes admitted but %d acked + %d typed-failed + %d shed + %d expired + %d throttled (acked-write loss)",
+			p.writesIn, p.writesAck, p.writesFailed, p.writesShed, p.writesExpired, p.writesThrottled)
+	}
+	if err := p.checkQoSConservation(); err != nil {
+		return err
 	}
 	if p.untypedFailures != 0 {
 		return fmt.Errorf("pool: %d requests failed without a typed error", p.untypedFailures)
@@ -1270,9 +1348,9 @@ func (p *Pool) CheckHealth() error {
 		return fmt.Errorf("pool: %d rebuild jobs still active", len(p.rebuilds))
 	}
 	for i, ch := range p.chans {
-		if len(ch.pending) != 0 || len(ch.queue) != 0 || ch.inflight != 0 {
+		if ch.held() != 0 || len(ch.queue) != 0 || ch.inflight != 0 {
 			return fmt.Errorf("pool: channel %d left held=%d queued=%d inflight=%d",
-				i, len(ch.pending), len(ch.queue), ch.inflight)
+				i, ch.held(), len(ch.queue), ch.inflight)
 		}
 	}
 	for i, m := range p.members {

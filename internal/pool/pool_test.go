@@ -157,7 +157,9 @@ func TestPoolBackpressureHotChannel(t *testing.T) {
 	hCfg := openloop.Config{
 		Seed: 11, RatePerSec: 0,
 		Tenants: []openloop.Tenant{
-			{Name: "even", Dist: openloop.Uniform, ReadPct: 80,
+			// Weight 1 explicit: a zero weight mixed with nonzero ones is now
+			// a typed config error (it used to silently default to 1).
+			{Name: "even", Dist: openloop.Uniform, Weight: 1, ReadPct: 80,
 				Footprint: hot.CachedFootprint()},
 			// One-stripe footprint: every op lands on the same member.
 			{Name: "hot", Dist: openloop.Uniform, Weight: 4, ReadPct: -1,

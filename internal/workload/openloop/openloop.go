@@ -16,10 +16,28 @@
 package openloop
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
 	"nvdimmc/internal/sim"
+)
+
+// Typed validation sentinels: degenerate tenant configs used to surface as
+// ad-hoc strings (or, for a zero weight mixed with nonzero ones, silently
+// become an equal share), which made a sweep arithmetic bug look like a
+// plausible traffic mix. Callers can now errors.Is the class.
+var (
+	// ErrTenantWeight: a tenant weight is negative, NaN, Inf, or zero in a
+	// mix where other tenants carry explicit nonzero weights (an all-zero
+	// mix still defaults to equal shares).
+	ErrTenantWeight = errors.New("openloop: invalid tenant weight")
+	// ErrWeightSum: the tenant weights sum to a non-positive or non-finite
+	// total, so shares cannot be normalized.
+	ErrWeightSum = errors.New("openloop: degenerate tenant weight sum")
+	// ErrTenantQoS: a tenant's QoS contract field (QoSWeight, LimitPerSec,
+	// Burst, SLOP99) is out of range.
+	ErrTenantQoS = errors.New("openloop: invalid tenant QoS contract")
 )
 
 // Dist selects a tenant's offset distribution.
@@ -64,6 +82,23 @@ type Tenant struct {
 	Footprint int64
 	// Offset is the tenant's base address in the pooled space.
 	Offset int64
+
+	// The QoS contract fields below describe the tenant's service terms to
+	// the pooled front end (pool.QoSFromTenants); the generator itself
+	// ignores them — they shape scheduling, not traffic.
+
+	// QoSWeight is the tenant's DRR service share in the pool's dispatch
+	// (distinct from Weight, its share of *arrivals*; a noisy neighbor has a
+	// large arrival share and an ordinary service share). Zero defaults to 1.
+	QoSWeight float64
+	// LimitPerSec is the tenant's token-bucket rate in requests per
+	// simulated second (zero: unpoliced).
+	LimitPerSec float64
+	// Burst is the token-bucket depth in requests (zero defaults in the
+	// pool when rate-limited).
+	Burst int
+	// SLOP99 is the tenant's target p99 latency (zero: untracked).
+	SLOP99 sim.Duration
 }
 
 // Config parameterizes a stream.
@@ -120,15 +155,48 @@ func New(cfg Config) (*Generator, error) {
 	if cfg.Deadline < 0 {
 		return nil, fmt.Errorf("openloop: deadline %d ps negative (zero disables deadlines)", int64(cfg.Deadline))
 	}
-	total := 0.0
+	// Weight pass 1: classify before defaulting. A zero weight is legal only
+	// when every weight is zero (the equal-share default); zero mixed with
+	// explicit nonzero weights would silently grant the forgotten tenant a
+	// full share — reject it typed instead.
+	anyZero, anyNonzero := false, false
 	for i := range cfg.Tenants {
 		t := &cfg.Tenants[i]
 		if t.Weight < 0 || math.IsNaN(t.Weight) || math.IsInf(t.Weight, 0) {
-			return nil, fmt.Errorf("openloop: tenant %d weight %v is not a share (zero defaults to 1; negative/NaN/Inf is a config bug)",
-				i, t.Weight)
+			return nil, fmt.Errorf("openloop: tenant %d weight %v is not a share (negative/NaN/Inf is a config bug): %w",
+				i, t.Weight, ErrTenantWeight)
 		}
 		if t.Weight == 0 {
+			anyZero = true
+		} else {
+			anyNonzero = true
+		}
+	}
+	if anyZero && anyNonzero {
+		for i := range cfg.Tenants {
+			if cfg.Tenants[i].Weight == 0 {
+				return nil, fmt.Errorf("openloop: tenant %d weight 0 in a weighted mix (give it an explicit share, or zero all weights for equal shares): %w",
+					i, ErrTenantWeight)
+			}
+		}
+	}
+	total := 0.0
+	for i := range cfg.Tenants {
+		t := &cfg.Tenants[i]
+		if t.Weight == 0 {
 			t.Weight = 1
+		}
+		if t.QoSWeight < 0 || math.IsNaN(t.QoSWeight) || math.IsInf(t.QoSWeight, 0) {
+			return nil, fmt.Errorf("openloop: tenant %d QoS weight %v (zero defaults to 1): %w", i, t.QoSWeight, ErrTenantQoS)
+		}
+		if t.LimitPerSec < 0 || math.IsNaN(t.LimitPerSec) || math.IsInf(t.LimitPerSec, 0) {
+			return nil, fmt.Errorf("openloop: tenant %d limit %v req/s (zero disables policing): %w", i, t.LimitPerSec, ErrTenantQoS)
+		}
+		if t.Burst < 0 {
+			return nil, fmt.Errorf("openloop: tenant %d burst %d negative: %w", i, t.Burst, ErrTenantQoS)
+		}
+		if t.SLOP99 < 0 {
+			return nil, fmt.Errorf("openloop: tenant %d SLO p99 %d ps negative: %w", i, int64(t.SLOP99), ErrTenantQoS)
 		}
 		if t.BlockSize < 0 {
 			return nil, fmt.Errorf("openloop: tenant %d block size %d negative (zero defaults to 4096)", i, t.BlockSize)
@@ -155,6 +223,12 @@ func New(cfg Config) (*Generator, error) {
 			return nil, fmt.Errorf("openloop: tenant %d theta %v outside (0,1)", i, t.Theta)
 		}
 		total += t.Weight
+	}
+	// Per-tenant weights are finite and positive by here, but their sum can
+	// still overflow to +Inf (two 1e308 shares), leaving every normalized
+	// share 0 or NaN.
+	if total <= 0 || math.IsInf(total, 0) || math.IsNaN(total) {
+		return nil, fmt.Errorf("openloop: tenant weights sum to %v: %w", total, ErrWeightSum)
 	}
 	g := &Generator{cfg: cfg, rng: sim.NewRand(cfg.Seed)}
 	acc := 0.0

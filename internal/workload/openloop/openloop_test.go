@@ -1,6 +1,7 @@
 package openloop
 
 import (
+	"errors"
 	"math"
 	"testing"
 
@@ -204,6 +205,65 @@ func TestConfigValidation(t *testing.T) {
 	}
 }
 
+// TestWeightValidationTyped: the degenerate weight configs are rejected with
+// the typed sentinels, and the legal zero-weight forms still default.
+func TestWeightValidationTyped(t *testing.T) {
+	foot := int64(1 << 20)
+	cases := []struct {
+		name    string
+		tenants []Tenant
+		want    error
+	}{
+		{"negative weight", []Tenant{{Footprint: foot, Weight: -1}}, ErrTenantWeight},
+		{"NaN weight", []Tenant{{Footprint: foot, Weight: math.NaN()}}, ErrTenantWeight},
+		{"Inf weight", []Tenant{{Footprint: foot, Weight: math.Inf(1)}}, ErrTenantWeight},
+		{"zero mixed with nonzero", []Tenant{
+			{Footprint: foot},
+			{Footprint: foot, Weight: 4},
+		}, ErrTenantWeight},
+		{"sum overflows to Inf", []Tenant{
+			{Footprint: foot, Weight: 1e308},
+			{Footprint: foot, Weight: 1e308},
+		}, ErrWeightSum},
+		{"negative QoS weight", []Tenant{{Footprint: foot, QoSWeight: -2}}, ErrTenantQoS},
+		{"NaN limit", []Tenant{{Footprint: foot, LimitPerSec: math.NaN()}}, ErrTenantQoS},
+		{"negative limit", []Tenant{{Footprint: foot, LimitPerSec: -5}}, ErrTenantQoS},
+		{"negative burst", []Tenant{{Footprint: foot, Burst: -1}}, ErrTenantQoS},
+		{"negative SLO", []Tenant{{Footprint: foot, SLOP99: -sim.Microsecond}}, ErrTenantQoS},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := New(Config{Tenants: c.tenants})
+			if err == nil {
+				t.Fatalf("%s accepted", c.name)
+			}
+			if !errors.Is(err, c.want) {
+				t.Fatalf("%s: error %v not typed %v", c.name, err, c.want)
+			}
+		})
+	}
+
+	// All-zero weights stay legal: equal shares.
+	g, err := New(Config{Tenants: []Tenant{
+		{Footprint: foot}, {Footprint: foot}, {Footprint: foot},
+	}})
+	if err != nil {
+		t.Fatalf("all-zero weights rejected: %v", err)
+	}
+	for i, c := range g.cum {
+		want := float64(i+1) / 3
+		if math.Abs(c-want) > 1e-9 {
+			t.Fatalf("equal-share cum[%d] = %v, want %v", i, c, want)
+		}
+	}
+	// Explicit all-nonzero weights normalize as before.
+	if _, err := New(Config{Tenants: []Tenant{
+		{Footprint: foot, Weight: 3}, {Footprint: foot, Weight: 1},
+	}}); err != nil {
+		t.Fatalf("weighted mix rejected: %v", err)
+	}
+}
+
 // TestDeadlineStamping: a configured budget reaches every emitted request
 // unchanged; zero leaves requests undeadlined.
 func TestDeadlineStamping(t *testing.T) {
@@ -225,6 +285,17 @@ func TestDeadlineStamping(t *testing.T) {
 	for i := 0; i < 100; i++ {
 		if r := g.Next(); r.Deadline != 0 {
 			t.Fatalf("request %d deadline %v, want none", i, r.Deadline)
+		}
+	}
+}
+
+func TestDistString(t *testing.T) {
+	for _, c := range []struct {
+		d    Dist
+		want string
+	}{{Uniform, "uniform"}, {Zipfian, "zipfian"}, {Dist(99), "dist?"}} {
+		if got := c.d.String(); got != c.want {
+			t.Fatalf("Dist(%d).String() = %q, want %q", c.d, got, c.want)
 		}
 	}
 }

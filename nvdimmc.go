@@ -279,6 +279,48 @@ func Experiments(opts ExperimentOptions) map[string]func() error {
 			}
 			return err
 		},
+		"qos": func() error {
+			res, err := experiments.QoS(opts)
+			if err == nil {
+				hl("points", float64(res.Points()))
+				hl("capacity-ops", res.CapacityOps)
+				hl("acked-writes-lost", float64(res.AckedLostTotal()))
+				if on := res.Find(true, "none"); on != nil {
+					hl("iso-light-violations", float64(on.LightViolations()))
+					hl("iso-hot-throttled", float64(on.HotThrottled()))
+					hl("iso-hot-bucket-ratio", on.HotRatio)
+					hl("iso-worst-light-p99-us", float64(on.WorstLightP99().Microseconds()))
+				}
+				if off := res.Find(false, "none"); off != nil {
+					hl("noiso-light-violations", float64(off.LightViolations()))
+					hl("noiso-worst-light-p99-us", float64(off.WorstLightP99().Microseconds()))
+				}
+			}
+			if err == nil && res.AckedLostTotal() > 0 {
+				err = fmt.Errorf("qos: %d acked writes lost across %d points",
+					res.AckedLostTotal(), res.Points())
+			}
+			if err == nil {
+				if on := res.Find(true, "none"); on != nil {
+					switch {
+					case on.LightViolations() > 0:
+						err = fmt.Errorf("qos: isolation on, %d light tenant(s) missed the p99 SLO (worst %v)",
+							on.LightViolations(), on.WorstLightP99())
+					case on.HotThrottled() == 0:
+						err = fmt.Errorf("qos: hot tenant at %dx its bucket rate was never throttled", 4)
+					case on.HotRatio < 0.75 || on.HotRatio > 1.25:
+						err = fmt.Errorf("qos: hot goodput %.2fx its bucket rate, outside the 0.75-1.25 throttle-to-contract band",
+							on.HotRatio)
+					}
+				}
+			}
+			if err == nil {
+				if off := res.Find(false, "none"); off != nil && off.LightViolations() == 0 {
+					err = fmt.Errorf("qos: isolation off, no light tenant violated its SLO — the campaign lost its control arm")
+				}
+			}
+			return err
+		},
 		"conformance": func() error {
 			res, err := experiments.Conformance(opts)
 			if err == nil {
@@ -329,6 +371,7 @@ func ExperimentList() []ExperimentInfo {
 		{"pool", "socket scaling: 1-6 interleaved channels under open-loop multi-tenant load"},
 		{"faultpool", "socket-scale fault campaign: quarantine, spare failover, rebuild, zero acked-write loss"},
 		{"overload", "saturation campaign: deadlines, typed timeouts and admission shedding from 0.5x to 4x capacity"},
+		{"qos", "multi-tenant noisy-neighbor campaign: token buckets, DRR dispatch and per-tenant SLO verdicts, isolation on vs off"},
 	}
 }
 
