@@ -4,6 +4,12 @@
 // Usage:
 //
 //	benchdiff [-wall-threshold 0.25] [-wall-floor 250] [-metric-threshold 0.25] BASELINE CANDIDATE
+//	benchdiff -auto-baseline [-baseline-dir DIR] [thresholds ...] CANDIDATE
+//
+// With -auto-baseline the baseline argument is omitted and the committed
+// BENCH_<n>.json with the highest n in -baseline-dir (default ".") is used,
+// so CI keeps gating against the newest committed snapshot without every PR
+// editing the workflow file.
 //
 // Both inputs are JSON-lines files as written by nvdimmc-bench -json; the
 // last record per (experiment, quick) pair wins. Every baseline experiment
@@ -37,7 +43,10 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"path/filepath"
+	"regexp"
 	"sort"
+	"strconv"
 	"strings"
 )
 
@@ -84,6 +93,36 @@ func load(path string) (map[string]record, error) {
 	return out, nil
 }
 
+// benchPattern matches committed snapshot names for -auto-baseline.
+var benchPattern = regexp.MustCompile(`^BENCH_(\d+)\.json$`)
+
+// autoBaseline returns the BENCH_<n>.json with the highest n in dir.
+func autoBaseline(dir string) (string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return "", err
+	}
+	best, bestN := "", -1
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		m := benchPattern.FindStringSubmatch(e.Name())
+		if m == nil {
+			continue
+		}
+		n, err := strconv.Atoi(m[1])
+		if err != nil || n <= bestN {
+			continue
+		}
+		best, bestN = filepath.Join(dir, e.Name()), n
+	}
+	if best == "" {
+		return "", fmt.Errorf("no BENCH_<n>.json snapshots in %s", dir)
+	}
+	return best, nil
+}
+
 // relDrift is |a-b| over the larger magnitude; 0 when both are 0.
 func relDrift(a, b float64) float64 {
 	den := math.Max(math.Abs(a), math.Abs(b))
@@ -98,21 +137,37 @@ func main() {
 	wallFloor := flag.Float64("wall-floor", 250,
 		"skip the wall-clock check when both baseline and candidate walls are under this many ms (sub-floor runs are all jitter)")
 	metricThresh := flag.Float64("metric-threshold", 0.25, "max relative drift for headline metrics present in both snapshots")
+	auto := flag.Bool("auto-baseline", false,
+		"gate against the committed BENCH_<n>.json with the highest n instead of an explicit baseline argument")
+	baseDir := flag.String("baseline-dir", ".", "directory searched by -auto-baseline")
 	flag.Usage = func() {
 		fmt.Fprintln(os.Stderr, "usage: benchdiff [-wall-threshold F] [-wall-floor MS] [-metric-threshold F] BASELINE CANDIDATE")
+		fmt.Fprintln(os.Stderr, "       benchdiff -auto-baseline [-baseline-dir DIR] [thresholds ...] CANDIDATE")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
-	if flag.NArg() != 2 {
+	var basePath, candPath string
+	switch {
+	case *auto && flag.NArg() == 1:
+		p, err := autoBaseline(*baseDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchdiff:", err)
+			os.Exit(2)
+		}
+		fmt.Printf("benchdiff: auto baseline %s\n", p)
+		basePath, candPath = p, flag.Arg(0)
+	case !*auto && flag.NArg() == 2:
+		basePath, candPath = flag.Arg(0), flag.Arg(1)
+	default:
 		flag.Usage()
 		os.Exit(2)
 	}
-	base, err := load(flag.Arg(0))
+	base, err := load(basePath)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchdiff:", err)
 		os.Exit(2)
 	}
-	cand, err := load(flag.Arg(1))
+	cand, err := load(candPath)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchdiff:", err)
 		os.Exit(2)

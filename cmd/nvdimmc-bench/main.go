@@ -19,7 +19,8 @@
 //
 // Available experiments: table1 table2 frontend aging fig7 fig8 fig9 fig10
 // fig11 mixed lru fig12 fig13 windows ablations endurance crash conformance
-// pool. -list prints each with a one-line description.
+// pool faultpool overload qos replay service. -list prints each with a
+// one-line description.
 package main
 
 import (

@@ -1,0 +1,34 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestOverloadCampaignQuick keeps the saturation campaign in the -short
+// coverage lane: one quick sharded run, checked against the acceptance
+// surface the bench harness gates on (conservation, graceful degradation,
+// shed-beats-queueing).
+func TestOverloadCampaignQuick(t *testing.T) {
+	var out bytes.Buffer
+	res, err := Overload(Options{Quick: true, Out: &out, Parallel: 4})
+	if err != nil {
+		t.Fatalf("overload campaign: %v\n%s", err, out.String())
+	}
+	if res.Points() != 12 {
+		t.Fatalf("got %d points, want 12", res.Points())
+	}
+	if lost := res.AckedLostTotal(); lost != 0 {
+		t.Fatalf("%d acked writes lost", lost)
+	}
+	if res.ShedTotal() == 0 || res.ExpiredTotal() == 0 {
+		t.Fatalf("saturation produced no overload outcomes (shed=%d expired=%d)",
+			res.ShedTotal(), res.ExpiredTotal())
+	}
+	if ratio := res.ShedGoodputRatio(); ratio < 0.9 {
+		t.Fatalf("shed-mode goodput ratio %.3f at max load, want >= 0.9", ratio)
+	}
+	if err := res.ShedBeatsQueueing(); err != nil {
+		t.Fatalf("shed-beats-queueing claim: %v", err)
+	}
+}

@@ -1,0 +1,42 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestServiceCampaignConservation runs the quick service campaign — real
+// HTTP servers on loopback sockets, 32 concurrent clients per admission
+// policy — and checks the conservation surface the experiment gates on.
+func TestServiceCampaignConservation(t *testing.T) {
+	var out bytes.Buffer
+	res, err := Service(Options{Quick: true, Out: &out})
+	if err != nil {
+		t.Fatalf("service campaign: %v\n%s", err, out.String())
+	}
+	if res.Points() != 3 {
+		t.Fatalf("got %d points, want 3 (one per admission policy)", res.Points())
+	}
+	if got, want := res.OpsTotal(), 3*32*16; got != want {
+		t.Fatalf("ops total %d, want %d (3 policies x 32 clients x 16 ops)", got, want)
+	}
+	if v := res.ViolationTotal(); v != 0 {
+		t.Fatalf("%d conservation violations", v)
+	}
+	if l := res.AckedLostTotal(); l != 0 {
+		t.Fatalf("writes-conservation residual %d", l)
+	}
+	for _, row := range res.Rows {
+		if row.Health != "ok" {
+			t.Fatalf("%v: drain audit %q", row.Policy, row.Health)
+		}
+		if row.Sent != row.Ops {
+			t.Fatalf("%v: sent %d of %d ops", row.Policy, row.Sent, row.Ops)
+		}
+		// Every op must land in exactly one terminal counter.
+		terminal := row.Completed + row.Shed + row.Expired + row.Failed + row.Throttled
+		if terminal != uint64(row.Sent) {
+			t.Fatalf("%v: %d terminal outcomes for %d sent ops", row.Policy, terminal, row.Sent)
+		}
+	}
+}

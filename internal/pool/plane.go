@@ -235,6 +235,17 @@ func (p *Pool) Poll(max int) []Completion {
 	return out
 }
 
+// Now returns the current epoch-boundary instant — the arrival a front-end
+// embedding the plane (the network service, a host simulator) should stamp
+// on requests it admits "now". Between Steps the plane sits exactly on a
+// boundary, so Now is stable until the next Step.
+func (p *Pool) Now() sim.Time { return p.now }
+
+// Origin returns the plane's first epoch boundary. Request arrivals
+// (openloop.Request.Arrival) are durations relative to it, so a caller
+// submitting at the current boundary passes Now().Sub(Origin()).
+func (p *Pool) Origin() sim.Time { return p.epoch0 }
+
 // Occupancy returns every channel's backpressure view, channel order.
 func (p *Pool) Occupancy() []ChannelOccupancy {
 	out := make([]ChannelOccupancy, len(p.chans))

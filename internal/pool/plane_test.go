@@ -396,3 +396,103 @@ func TestPlaneOverloadedWorkerCountIdentical(t *testing.T) {
 		}
 	}
 }
+
+// TestPlaneNotifyMatchesPollAcrossDrain pins the delivery contract: the
+// Notify callback and the Poll buffer observe the same completion records
+// in the same deterministic order, and that order is stable across multiple
+// Drain cycles with new submissions in between and regardless of how the
+// Poll buffer is chunked.
+func TestPlaneNotifyMatchesPollAcrossDrain(t *testing.T) {
+	// Two submission waves with mixed reads/writes and a few hopeless
+	// deadlines, so the sequence interleaves several outcomes.
+	submitWave := func(t *testing.T, p *Pool, wave int) {
+		t.Helper()
+		for i := 0; i < 24; i++ {
+			r := openloop.Request{Off: int64((wave*24 + i) % 64) * 4096, Len: 4096, Write: i%3 == 0}
+			if i%7 == 0 {
+				r.Deadline = 1 // 1 ps: expires at the first boundary
+			}
+			if _, err := p.Submit(r); err != nil {
+				t.Fatalf("wave %d submit %d: %v", wave, i, err)
+			}
+		}
+	}
+
+	// Run A: Poll, drained in uneven chunks across two Drain cycles.
+	polled := func() []Completion {
+		p := newTestPool(t, 2, 1, 1, 4096)
+		var recs []Completion
+		submitWave(t, p, 0)
+		if err := p.Drain(); err != nil {
+			t.Fatal(err)
+		}
+		for _, chunk := range []int{1, 5, 0} { // 0 drains the rest
+			recs = append(recs, p.Poll(chunk)...)
+		}
+		submitWave(t, p, 1)
+		if err := p.Drain(); err != nil {
+			t.Fatal(err)
+		}
+		recs = append(recs, p.Poll(7)...)
+		recs = append(recs, p.Poll(0)...)
+		return recs
+	}()
+
+	// Run B: identical drive, records delivered through Notify instead.
+	notified := func() []Completion {
+		var recs []Completion
+		p := newTestPool(t, 2, 1, 1, 4096, func(cfg *Config) {
+			cfg.Notify = func(c Completion) { recs = append(recs, c) }
+		})
+		submitWave(t, p, 0)
+		if err := p.Drain(); err != nil {
+			t.Fatal(err)
+		}
+		if got := p.Poll(0); got != nil {
+			t.Fatalf("Poll returned %d records with Notify configured", len(got))
+		}
+		submitWave(t, p, 1)
+		if err := p.Drain(); err != nil {
+			t.Fatal(err)
+		}
+		return recs
+	}()
+
+	if len(polled) != 48 || len(notified) != 48 {
+		t.Fatalf("delivered %d polled / %d notified records, want 48 each", len(polled), len(notified))
+	}
+	// Err carries freshly allocated wrapped errors, so compare records by
+	// rendered value, not interface identity.
+	render := func(c Completion) string {
+		errText := ""
+		if c.Err != nil {
+			errText = c.Err.Error()
+		}
+		return fmt.Sprintf("id=%d tenant=%d write=%v outcome=%v err=%q at=%v lat=%v late=%v lateness=%v",
+			c.ID, c.Tenant, c.Write, c.Outcome, errText, c.At, c.Latency, c.Late, c.Lateness)
+	}
+	expired := 0
+	for i := range polled {
+		if render(polled[i]) != render(notified[i]) {
+			t.Fatalf("record %d differs between Poll and Notify delivery:\npoll:   %+v\nnotify: %+v",
+				i, polled[i], notified[i])
+		}
+		if polled[i].Outcome == OutcomeExpired {
+			expired++
+			if !errors.Is(polled[i].Err, ErrDeadlineExceeded) {
+				t.Fatalf("expired record %d lacks typed error: %v", i, polled[i].Err)
+			}
+		}
+	}
+	if expired == 0 {
+		t.Fatal("no expirations: the waves' hopeless deadlines never fired")
+	}
+	// Delivery order is per-epoch canonical channel order, not terminal-
+	// instant order — but records never cross a Drain cycle: every wave-0
+	// record (IDs 1..24) is delivered before any wave-1 record (25..48).
+	for i, c := range polled {
+		if i < 24 != (c.ID <= 24) {
+			t.Fatalf("record %d (ID %d) crossed its drain cycle", i, c.ID)
+		}
+	}
+}

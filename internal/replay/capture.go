@@ -1,0 +1,49 @@
+package replay
+
+import (
+	"fmt"
+
+	"nvdimmc/internal/workload/openloop"
+)
+
+// Recorder is the capture sink: it tees a live request stream into a trace
+// Writer, from whatever is emitting requests — an openloop generator (via
+// Generator.SetCapture), the network service's submission loop, or any
+// other single-goroutine request source. Write errors are latched rather
+// than surfaced per record, because capture hooks have no error channel;
+// Close returns the first one.
+type Recorder struct {
+	w   Writer
+	n   int
+	err error
+}
+
+// NewRecorder wraps a trace Writer as a capture sink.
+func NewRecorder(w Writer) *Recorder { return &Recorder{w: w} }
+
+// Record persists one request. It is the openloop capture-hook shape, so
+// a generator records with gen.SetCapture(rec.Record).
+func (r *Recorder) Record(q openloop.Request) {
+	if r.err != nil {
+		return
+	}
+	if err := r.w.Record(q); err != nil {
+		r.err = fmt.Errorf("replay: capture record %d: %w", r.n+1, err)
+		return
+	}
+	r.n++
+}
+
+// Records counts requests captured so far.
+func (r *Recorder) Records() int { return r.n }
+
+// Err returns the latched write error, if any.
+func (r *Recorder) Err() error { return r.err }
+
+// Close flushes the underlying Writer and returns the first error seen.
+func (r *Recorder) Close() error {
+	if err := r.w.Close(); err != nil && r.err == nil {
+		r.err = err
+	}
+	return r.err
+}

@@ -1,0 +1,410 @@
+// Package replay is the trace front-end over the pool's request plane: it
+// persists request streams (from the open-loop generators, the network
+// service, or external tools) as traces, and replays them deterministically.
+//
+// Two encodings cover the two audiences. The text format is fio-style — one
+// whitespace-separated record per line, absolute picosecond arrivals, an `r`
+// or `w` op letter — greppable, diffable, and trivial for external tooling
+// to emit. The binary format is the compact archival form: varint-encoded
+// records with delta-compressed arrival timestamps, page-number (LPN)
+// offset compression for the common 4 KB-aligned case, and elided fields
+// for the defaults (4 KB length, tenant 0, no deadline), so a captured
+// multi-million-op workload stores in a few bytes per op.
+//
+// Both encodings carry the same record: arrival instant, op direction,
+// offset, length, tenant index and per-request deadline budget — exactly
+// openloop.Request, which is also what pool.Submit admits. A trace is
+// therefore a serialized request stream, and replaying one through the
+// plane (replay.go) re-times each arrival onto the epoch boundary the
+// plane's admission quantizes to, which is what keeps a replayed run
+// byte-identical at any worker count and under lookahead.
+package replay
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"nvdimmc/internal/sim"
+	"nvdimmc/internal/workload/openloop"
+)
+
+// Format selects a trace encoding.
+type Format int
+
+const (
+	// Text is the fio-style line format: `arrival_ps op off len tenant
+	// deadline_ps`, one record per line, `#` comments, human-readable.
+	Text Format = iota
+	// Binary is the compact format: an 8-byte magic then varint records
+	// with delta timestamps and default-elided fields.
+	Binary
+)
+
+func (f Format) String() string {
+	switch f {
+	case Text:
+		return "text"
+	case Binary:
+		return "binary"
+	}
+	return fmt.Sprintf("Format(%d)", int(f))
+}
+
+const (
+	// textHeader opens every text trace; the reader also accepts headerless
+	// text whose first line parses as a record (external tools cut corners).
+	textHeader = "# nvdimmc-trace v1 text"
+	// binMagic opens every binary trace; 8 bytes, no text line starts with it.
+	binMagic = "NVDCTRC1"
+	// pageSize is the LPN compression granularity (the system page).
+	pageSize = 4096
+
+	// Binary record flag bits.
+	flagWrite    = 1 << 0 // op is a write
+	flagDeadline = 1 << 1 // a deadline field follows
+	flagTenant   = 1 << 2 // a tenant field follows (else tenant 0)
+	flagLPN      = 1 << 3 // offset is page-aligned and encoded as off/4096
+	flagLen      = 1 << 4 // a length field follows (else the 4096 default)
+)
+
+// A Writer persists a request stream as a trace. Record order is trace
+// order; Close flushes. Writers are single-goroutine, like the plane.
+type Writer interface {
+	Record(openloop.Request) error
+	// Retimed counts records whose arrival preceded the previous record's
+	// and was clamped up to it: traces are non-decreasing by construction
+	// (the binary delta encoding requires it, and replay re-times onto
+	// epoch boundaries anyway, so a clamp never moves an admission).
+	Retimed() int
+	Close() error
+}
+
+// NewWriter returns a Writer in the requested encoding over w. The caller
+// owns w; Close flushes buffered output but does not close w.
+func NewWriter(w io.Writer, f Format) (Writer, error) {
+	switch f {
+	case Text:
+		return newTextWriter(w)
+	case Binary:
+		return newBinaryWriter(w)
+	}
+	return nil, fmt.Errorf("replay: unknown trace format %d", int(f))
+}
+
+// validate rejects records no plane could admit, before they poison a trace.
+func validate(r openloop.Request) error {
+	if r.Off < 0 || r.Len <= 0 || r.Tenant < 0 || r.Arrival < 0 || r.Deadline < 0 {
+		return fmt.Errorf("replay: invalid record off=%d len=%d tenant=%d arrival=%d deadline=%d",
+			r.Off, r.Len, r.Tenant, int64(r.Arrival), int64(r.Deadline))
+	}
+	return nil
+}
+
+// textWriter emits the fio-style line format.
+type textWriter struct {
+	bw      *bufio.Writer
+	prev    sim.Duration
+	retimed int
+}
+
+func newTextWriter(w io.Writer) (*textWriter, error) {
+	tw := &textWriter{bw: bufio.NewWriter(w)}
+	if _, err := fmt.Fprintln(tw.bw, textHeader); err != nil {
+		return nil, err
+	}
+	return tw, nil
+}
+
+func (t *textWriter) Record(r openloop.Request) error {
+	if err := validate(r); err != nil {
+		return err
+	}
+	if r.Arrival < t.prev {
+		r.Arrival = t.prev
+		t.retimed++
+	}
+	t.prev = r.Arrival
+	op := byte('r')
+	if r.Write {
+		op = 'w'
+	}
+	_, err := fmt.Fprintf(t.bw, "%d %c %d %d %d %d\n",
+		int64(r.Arrival), op, r.Off, r.Len, r.Tenant, int64(r.Deadline))
+	return err
+}
+
+func (t *textWriter) Retimed() int { return t.retimed }
+func (t *textWriter) Close() error { return t.bw.Flush() }
+
+// binaryWriter emits the compact varint format.
+type binaryWriter struct {
+	bw      *bufio.Writer
+	prev    sim.Duration
+	retimed int
+	scratch [binary.MaxVarintLen64]byte
+}
+
+func newBinaryWriter(w io.Writer) (*binaryWriter, error) {
+	bw := &binaryWriter{bw: bufio.NewWriter(w)}
+	if _, err := bw.bw.WriteString(binMagic); err != nil {
+		return nil, err
+	}
+	return bw, nil
+}
+
+func (b *binaryWriter) uvarint(v uint64) error {
+	n := binary.PutUvarint(b.scratch[:], v)
+	_, err := b.bw.Write(b.scratch[:n])
+	return err
+}
+
+func (b *binaryWriter) Record(r openloop.Request) error {
+	if err := validate(r); err != nil {
+		return err
+	}
+	if r.Arrival < b.prev {
+		r.Arrival = b.prev
+		b.retimed++
+	}
+	delta := uint64(r.Arrival - b.prev)
+	b.prev = r.Arrival
+
+	var flags byte
+	if r.Write {
+		flags |= flagWrite
+	}
+	if r.Deadline > 0 {
+		flags |= flagDeadline
+	}
+	if r.Tenant > 0 {
+		flags |= flagTenant
+	}
+	off := uint64(r.Off)
+	if r.Off%pageSize == 0 {
+		flags |= flagLPN
+		off = uint64(r.Off / pageSize)
+	}
+	if r.Len != pageSize {
+		flags |= flagLen
+	}
+	if err := b.bw.WriteByte(flags); err != nil {
+		return err
+	}
+	if err := b.uvarint(delta); err != nil {
+		return err
+	}
+	if err := b.uvarint(off); err != nil {
+		return err
+	}
+	if flags&flagLen != 0 {
+		if err := b.uvarint(uint64(r.Len)); err != nil {
+			return err
+		}
+	}
+	if flags&flagTenant != 0 {
+		if err := b.uvarint(uint64(r.Tenant)); err != nil {
+			return err
+		}
+	}
+	if flags&flagDeadline != 0 {
+		if err := b.uvarint(uint64(r.Deadline)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (b *binaryWriter) Retimed() int { return b.retimed }
+func (b *binaryWriter) Close() error { return b.bw.Flush() }
+
+// Reader streams records out of a trace in either encoding, sniffing the
+// format from the first bytes. Arrivals are forced non-decreasing on the
+// way out too (a hand-edited text trace can regress mid-file), with clamps
+// counted in Retimed.
+type Reader struct {
+	format  Format
+	br      *bufio.Reader
+	byteR   io.ByteReader
+	prev    sim.Duration
+	n       int
+	retimed int
+	line    int
+}
+
+// NewReader sniffs r's encoding and positions before the first record.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReader(r)
+	head, err := br.Peek(len(binMagic))
+	if err != nil && len(head) == 0 {
+		return nil, fmt.Errorf("replay: empty trace: %w", err)
+	}
+	rd := &Reader{br: br, byteR: br}
+	if string(head) == binMagic {
+		rd.format = Binary
+		br.Discard(len(binMagic))
+		return rd, nil
+	}
+	rd.format = Text
+	return rd, nil
+}
+
+// Format reports the sniffed encoding.
+func (r *Reader) Format() Format { return r.format }
+
+// Records counts records returned so far.
+func (r *Reader) Records() int { return r.n }
+
+// Retimed counts arrivals clamped up to their predecessor while reading.
+func (r *Reader) Retimed() int { return r.retimed }
+
+// Next returns the next record, or io.EOF at a clean end of trace. Any
+// other error means a malformed or truncated trace, positioned by record
+// (binary) or line (text).
+func (r *Reader) Next() (openloop.Request, error) {
+	var req openloop.Request
+	var err error
+	if r.format == Binary {
+		req, err = r.nextBinary()
+	} else {
+		req, err = r.nextText()
+	}
+	if err != nil {
+		return openloop.Request{}, err
+	}
+	if err := validate(req); err != nil {
+		return openloop.Request{}, fmt.Errorf("%w (record %d)", err, r.n+1)
+	}
+	if req.Arrival < r.prev {
+		req.Arrival = r.prev
+		r.retimed++
+	}
+	r.prev = req.Arrival
+	r.n++
+	return req, nil
+}
+
+func (r *Reader) nextText() (openloop.Request, error) {
+	for {
+		r.line++
+		line, err := r.br.ReadString('\n')
+		if err == io.EOF && line == "" {
+			return openloop.Request{}, io.EOF
+		}
+		if err != nil && err != io.EOF {
+			return openloop.Request{}, fmt.Errorf("replay: line %d: %w", r.line, err)
+		}
+		atEOF := err == io.EOF
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			if atEOF {
+				return openloop.Request{}, io.EOF
+			}
+			continue
+		}
+		f := strings.Fields(line)
+		if len(f) != 6 {
+			return openloop.Request{}, fmt.Errorf("replay: line %d: %d fields, want 6 (arrival_ps op off len tenant deadline_ps)", r.line, len(f))
+		}
+		var req openloop.Request
+		nums := [5]int64{}
+		for i, fi := range []int{0, 2, 3, 4, 5} {
+			v, err := strconv.ParseInt(f[fi], 10, 64)
+			if err != nil {
+				return openloop.Request{}, fmt.Errorf("replay: line %d field %d: %w", r.line, fi+1, err)
+			}
+			nums[i] = v
+		}
+		switch f[1] {
+		case "r", "R", "read":
+			req.Write = false
+		case "w", "W", "write":
+			req.Write = true
+		default:
+			return openloop.Request{}, fmt.Errorf("replay: line %d: op %q, want r|w", r.line, f[1])
+		}
+		req.Arrival = sim.Duration(nums[0])
+		req.Off = nums[1]
+		req.Len = int(nums[2])
+		req.Tenant = int(nums[3])
+		req.Deadline = sim.Duration(nums[4])
+		return req, nil
+	}
+}
+
+func (r *Reader) nextBinary() (openloop.Request, error) {
+	flags, err := r.br.ReadByte()
+	if err == io.EOF {
+		return openloop.Request{}, io.EOF
+	}
+	if err != nil {
+		return openloop.Request{}, fmt.Errorf("replay: record %d: %w", r.n+1, err)
+	}
+	read := func(what string) (uint64, error) {
+		v, err := binary.ReadUvarint(r.byteR)
+		if err != nil {
+			if err == io.EOF {
+				err = io.ErrUnexpectedEOF
+			}
+			return 0, fmt.Errorf("replay: record %d: truncated %s: %w", r.n+1, what, err)
+		}
+		return v, nil
+	}
+	var req openloop.Request
+	delta, err := read("arrival delta")
+	if err != nil {
+		return openloop.Request{}, err
+	}
+	req.Arrival = r.prev + sim.Duration(delta)
+	off, err := read("offset")
+	if err != nil {
+		return openloop.Request{}, err
+	}
+	if flags&flagLPN != 0 {
+		off *= pageSize
+	}
+	req.Off = int64(off)
+	req.Len = pageSize
+	if flags&flagLen != 0 {
+		v, err := read("length")
+		if err != nil {
+			return openloop.Request{}, err
+		}
+		req.Len = int(v)
+	}
+	if flags&flagTenant != 0 {
+		v, err := read("tenant")
+		if err != nil {
+			return openloop.Request{}, err
+		}
+		req.Tenant = int(v)
+	}
+	if flags&flagDeadline != 0 {
+		v, err := read("deadline")
+		if err != nil {
+			return openloop.Request{}, err
+		}
+		req.Deadline = sim.Duration(v)
+	}
+	req.Write = flags&flagWrite != 0
+	return req, nil
+}
+
+// ReadAll drains every remaining record (tests and small traces; replay
+// proper streams through Next).
+func ReadAll(r *Reader) ([]openloop.Request, error) {
+	var out []openloop.Request
+	for {
+		req, err := r.Next()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, req)
+	}
+}

@@ -1,0 +1,300 @@
+package replay
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+
+	"nvdimmc/internal/sim"
+	"nvdimmc/internal/workload/openloop"
+)
+
+// sampleReqs exercises every encoding branch: aligned and unaligned
+// offsets, default and odd lengths, tenant 0 and nonzero, deadlines on and
+// off, reads and writes, repeated arrivals.
+func sampleReqs() []openloop.Request {
+	us := sim.Microsecond
+	return []openloop.Request{
+		{Arrival: 0, Off: 0, Len: 4096, Tenant: 0, Write: false},
+		{Arrival: 3 * us, Off: 8192, Len: 4096, Tenant: 1, Write: true},
+		{Arrival: 3 * us, Off: 12345, Len: 100, Tenant: 2, Write: false, Deadline: 50 * us},
+		{Arrival: 10 * us, Off: 1 << 40, Len: 65536, Tenant: 0, Write: true, Deadline: sim.Second},
+		{Arrival: 10*us + 1, Off: 4096, Len: 1, Tenant: 17, Write: false},
+	}
+}
+
+func roundTrip(t *testing.T, f Format, reqs []openloop.Request) []openloop.Request {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range reqs {
+		if err := w.Record(r); err != nil {
+			t.Fatalf("%v record: %v", f, err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rd, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rd.Format() != f {
+		t.Fatalf("sniffed %v, wrote %v", rd.Format(), f)
+	}
+	got, err := ReadAll(rd)
+	if err != nil {
+		t.Fatalf("%v read: %v", f, err)
+	}
+	return got
+}
+
+func TestRoundTripBothFormats(t *testing.T) {
+	want := sampleReqs()
+	for _, f := range []Format{Text, Binary} {
+		got := roundTrip(t, f, want)
+		if len(got) != len(want) {
+			t.Fatalf("%v: %d records, want %d", f, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%v record %d: got %+v want %+v", f, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestBinarySmallerThanText: the compact format must actually be compact on
+// the common shape (4 KB aligned ops, tenant 0/1, no deadline).
+func TestBinarySmallerThanText(t *testing.T) {
+	var reqs []openloop.Request
+	for i := 0; i < 1000; i++ {
+		reqs = append(reqs, openloop.Request{
+			Arrival: sim.Duration(i) * sim.Microsecond,
+			Off:     int64(i%64) * 4096,
+			Len:     4096,
+			Tenant:  i % 2,
+			Write:   i%3 == 0,
+		})
+	}
+	size := map[Format]int{}
+	for _, f := range []Format{Text, Binary} {
+		var buf bytes.Buffer
+		w, _ := NewWriter(&buf, f)
+		for _, r := range reqs {
+			if err := w.Record(r); err != nil {
+				t.Fatal(err)
+			}
+		}
+		w.Close()
+		size[f] = buf.Len()
+	}
+	if size[Binary]*4 > size[Text] {
+		t.Fatalf("binary %d B vs text %d B: want at least 4x compaction", size[Binary], size[Text])
+	}
+}
+
+// TestWriterRetimesRegressions: a source whose clock regresses (wall-clock
+// capture jitter) is clamped to non-decreasing arrivals, counted, and the
+// trace round-trips with the clamped values.
+func TestWriterRetimesRegressions(t *testing.T) {
+	reqs := []openloop.Request{
+		{Arrival: 10 * sim.Microsecond, Off: 0, Len: 4096},
+		{Arrival: 5 * sim.Microsecond, Off: 4096, Len: 4096}, // regresses
+		{Arrival: 20 * sim.Microsecond, Off: 8192, Len: 4096},
+	}
+	for _, f := range []Format{Text, Binary} {
+		var buf bytes.Buffer
+		w, _ := NewWriter(&buf, f)
+		for _, r := range reqs {
+			if err := w.Record(r); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if w.Retimed() != 1 {
+			t.Fatalf("%v: retimed %d, want 1", f, w.Retimed())
+		}
+		w.Close()
+		rd, err := NewReader(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := ReadAll(rd)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got[1].Arrival != 10*sim.Microsecond {
+			t.Fatalf("%v: clamped arrival %v, want 10us", f, got[1].Arrival)
+		}
+	}
+}
+
+// TestReaderRetimesHandEditedText: a text trace edited into a regression is
+// clamped on the way out (the writer never emits one, but readers must not
+// trust that).
+func TestReaderRetimesHandEditedText(t *testing.T) {
+	trace := textHeader + "\n" +
+		"1000000 r 0 4096 0 0\n" +
+		"500 w 4096 4096 0 0\n"
+	rd, err := NewReader(strings.NewReader(trace))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadAll(rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[1].Arrival != got[0].Arrival {
+		t.Fatalf("regressed arrival not clamped: %v vs %v", got[1].Arrival, got[0].Arrival)
+	}
+	if rd.Retimed() != 1 {
+		t.Fatalf("retimed %d, want 1", rd.Retimed())
+	}
+}
+
+func TestTextAcceptsCommentsAndWords(t *testing.T) {
+	trace := "# a headerless, hand-written trace\n" +
+		"\n" +
+		"0 read 0 4096 0 0\n" +
+		"100 write 4096 512 3 777\n"
+	rd, err := NewReader(strings.NewReader(trace))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadAll(rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || !got[1].Write || got[1].Len != 512 || got[1].Tenant != 3 {
+		t.Fatalf("parsed %+v", got)
+	}
+}
+
+func TestMalformedTraces(t *testing.T) {
+	cases := map[string]string{
+		"fields":  textHeader + "\n1 r 0 4096\n",
+		"op":      textHeader + "\n1 x 0 4096 0 0\n",
+		"number":  textHeader + "\n1 r zero 4096 0 0\n",
+		"neglen":  textHeader + "\n1 r 0 -5 0 0\n",
+		"zerolen": textHeader + "\n1 r 0 0 0 0\n",
+	}
+	for name, trace := range cases {
+		rd, err := NewReader(strings.NewReader(trace))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if _, err := ReadAll(rd); err == nil {
+			t.Fatalf("%s: malformed trace read cleanly", name)
+		}
+	}
+}
+
+func TestTruncatedBinary(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf, Binary)
+	for _, r := range sampleReqs() {
+		if err := w.Record(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.Close()
+	full := buf.Bytes()
+	// Every strict prefix inside the record stream must fail loudly or end
+	// cleanly exactly at a record boundary — never invent a record.
+	rd, err := NewReader(bytes.NewReader(full))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ReadAll(rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := len(binMagic) + 1; cut < len(full); cut++ {
+		rd, err := NewReader(bytes.NewReader(full[:cut]))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := ReadAll(rd)
+		if err == nil && len(got) >= len(want) {
+			t.Fatalf("cut %d: truncated trace yielded all %d records", cut, len(got))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("cut %d: record %d corrupted: %+v vs %+v", cut, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestWriterRejectsInvalid(t *testing.T) {
+	for _, f := range []Format{Text, Binary} {
+		w, _ := NewWriter(io.Discard, f)
+		if err := w.Record(openloop.Request{Off: -1, Len: 4096}); err == nil {
+			t.Fatalf("%v: negative offset accepted", f)
+		}
+		if err := w.Record(openloop.Request{Len: 0}); err == nil {
+			t.Fatalf("%v: zero length accepted", f)
+		}
+	}
+}
+
+func TestRecorderLatchesErrors(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf, Binary)
+	rec := NewRecorder(w)
+	rec.Record(openloop.Request{Off: 0, Len: 4096})
+	rec.Record(openloop.Request{Off: -1, Len: 4096}) // invalid: latches
+	rec.Record(openloop.Request{Off: 4096, Len: 4096})
+	if rec.Records() != 1 {
+		t.Fatalf("recorded %d, want 1 (stop at first error)", rec.Records())
+	}
+	if rec.Err() == nil || rec.Close() == nil {
+		t.Fatal("latched error not surfaced")
+	}
+}
+
+func TestEmptyTrace(t *testing.T) {
+	if _, err := NewReader(strings.NewReader("")); err == nil {
+		t.Fatal("empty trace opened cleanly")
+	}
+	// A header-only trace is a valid empty stream.
+	rd, err := NewReader(strings.NewReader(textHeader + "\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadAll(rd)
+	if err != nil || len(got) != 0 {
+		t.Fatalf("header-only trace: %v, %d records", err, len(got))
+	}
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf, Binary)
+	w.Close()
+	rd, err = NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err = ReadAll(rd)
+	if err != nil || len(got) != 0 {
+		t.Fatalf("magic-only trace: %v, %d records", err, len(got))
+	}
+}
+
+// TestFormatString pins the wire names benchmarks and CLI flags print.
+func TestFormatString(t *testing.T) {
+	for _, tc := range []struct {
+		f    Format
+		want string
+	}{
+		{Text, "text"},
+		{Binary, "binary"},
+		{Format(7), "Format(7)"},
+	} {
+		if got := tc.f.String(); got != tc.want {
+			t.Errorf("Format(%d).String() = %q, want %q", int(tc.f), got, tc.want)
+		}
+	}
+}

@@ -134,13 +134,22 @@ type Request struct {
 // Generator emits the stream; it is infinite (callers bound by count or by
 // arrival time).
 type Generator struct {
-	cfg  Config
-	rng  *sim.Rand
-	zip  []*zipf   // per-tenant, nil unless Zipfian
-	cum  []float64 // cumulative normalized weights
-	mean sim.Duration
-	now  sim.Duration
+	cfg     Config
+	rng     *sim.Rand
+	zip     []*zipf   // per-tenant, nil unless Zipfian
+	cum     []float64 // cumulative normalized weights
+	mean    sim.Duration
+	now     sim.Duration
+	capture func(Request)
 }
+
+// SetCapture installs fn as the generator's capture hook: every request Next
+// returns is also passed to fn, in emission order, before the caller sees it.
+// The hook observes — it must not mutate shared state the stream depends on —
+// so a recorded run and an unrecorded run with the same seed emit identical
+// requests. internal/replay's Recorder plugs in here to persist any live
+// generator workload as a trace; nil removes the hook.
+func (g *Generator) SetCapture(fn func(Request)) { g.capture = fn }
 
 // New validates cfg and returns a generator positioned before the first
 // arrival.
@@ -279,7 +288,7 @@ func (g *Generator) Next() Request {
 	} else {
 		blk = g.rng.Int63n(blocks)
 	}
-	return Request{
+	r := Request{
 		Arrival:  g.now,
 		Deadline: g.cfg.Deadline,
 		Tenant:   ti,
@@ -287,6 +296,10 @@ func (g *Generator) Next() Request {
 		Len:      t.BlockSize,
 		Write:    write,
 	}
+	if g.capture != nil {
+		g.capture(r)
+	}
+	return r
 }
 
 // zipf is the bounded zipfian rank generator of Gray et al.; rank 0 is the

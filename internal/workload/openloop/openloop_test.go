@@ -299,3 +299,34 @@ func TestDistString(t *testing.T) {
 		}
 	}
 }
+
+// TestCaptureHook: the capture hook sees exactly the emitted stream, in
+// order, without perturbing it — a hooked generator and a bare one with the
+// same seed stay identical.
+func TestCaptureHook(t *testing.T) {
+	bare, err := New(twoTenants())
+	if err != nil {
+		t.Fatal(err)
+	}
+	hooked, err := New(twoTenants())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var captured []Request
+	hooked.SetCapture(func(r Request) { captured = append(captured, r) })
+	for i := 0; i < 200; i++ {
+		want := bare.Next()
+		got := hooked.Next()
+		if got != want {
+			t.Fatalf("request %d: hook perturbed the stream: %+v vs %+v", i, got, want)
+		}
+		if captured[i] != want {
+			t.Fatalf("request %d: captured %+v, emitted %+v", i, captured[i], want)
+		}
+	}
+	hooked.SetCapture(nil)
+	hooked.Next()
+	if len(captured) != 200 {
+		t.Fatalf("hook ran after removal: %d records", len(captured))
+	}
+}

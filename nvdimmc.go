@@ -321,6 +321,48 @@ func Experiments(opts ExperimentOptions) map[string]func() error {
 			}
 			return err
 		},
+		"replay": func() error {
+			res, err := experiments.Replay(opts)
+			if err == nil {
+				hl("ops", float64(res.Ops))
+				hl("variants", float64(res.Points()))
+				hl("divergent", float64(res.Divergent()))
+				hl("retimed", float64(res.RetimedTotal()))
+				hl("binary-bytes-per-op", float64(res.BinaryBytes)/float64(res.Ops))
+				hl("compaction-x", res.CompactionX())
+			}
+			if err == nil && res.Divergent() > 0 {
+				err = fmt.Errorf("replay: %d of %d variants diverged from the live run",
+					res.Divergent(), res.Points())
+			}
+			if err == nil && res.RetimedTotal() > 0 {
+				err = fmt.Errorf("replay: %d arrival clamps replaying a monotone capture", res.RetimedTotal())
+			}
+			if err == nil && res.CompactionX() < 2 {
+				err = fmt.Errorf("replay: binary format only %.2fx smaller than text, below the 2x bound",
+					res.CompactionX())
+			}
+			return err
+		},
+		"service": func() error {
+			res, err := experiments.Service(opts)
+			if err == nil {
+				hl("points", float64(res.Points()))
+				hl("clients", float64(res.Clients))
+				hl("ops-total", float64(res.OpsTotal()))
+				hl("violations", float64(res.ViolationTotal()))
+				hl("acked-writes-lost", float64(res.AckedLostTotal()))
+			}
+			if err == nil && res.ViolationTotal() > 0 {
+				err = fmt.Errorf("service: %d conservation violations across %d points",
+					res.ViolationTotal(), res.Points())
+			}
+			if err == nil && res.AckedLostTotal() != 0 {
+				err = fmt.Errorf("service: writes-conservation residual %d across %d points",
+					res.AckedLostTotal(), res.Points())
+			}
+			return err
+		},
 		"conformance": func() error {
 			res, err := experiments.Conformance(opts)
 			if err == nil {
@@ -372,6 +414,8 @@ func ExperimentList() []ExperimentInfo {
 		{"faultpool", "socket-scale fault campaign: quarantine, spare failover, rebuild, zero acked-write loss"},
 		{"overload", "saturation campaign: deadlines, typed timeouts and admission shedding from 0.5x to 4x capacity"},
 		{"qos", "multi-tenant noisy-neighbor campaign: token buckets, DRR dispatch and per-tenant SLO verdicts, isolation on vs off"},
+		{"replay", "trace-replay determinism: captured overload run reproduced byte-identically across formats, worker counts and scheduler modes"},
+		{"service", "network-service conservation: concurrent HTTP clients per admission policy, client ledger reconciled against the drain audit"},
 	}
 }
 
