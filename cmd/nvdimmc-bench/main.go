@@ -19,7 +19,7 @@
 //
 // Available experiments: table1 table2 frontend aging fig7 fig8 fig9 fig10
 // fig11 mixed lru fig12 fig13 windows ablations endurance crash conformance
-// pool faultpool overload qos replay service. -list prints each with a
+// pool faultpool overload qos numa replay service. -list prints each with a
 // one-line description.
 package main
 

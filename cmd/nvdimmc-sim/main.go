@@ -35,6 +35,19 @@
 // with a per-tenant table:
 //
 //	nvdimmc-sim -channels 3 -rate 5e5 -qos "zipf:8:1:40000:32:0,uni:1:1:0:0:1500" -ops 3000
+//
+// -sockets above 1 composes N pooled sockets into the multi-socket NUMA
+// fabric (see internal/numa): one flat request plane, a METICULOUS-style
+// interconnect (-xlat one-way nanoseconds, -xbw GB/s per directed link),
+// socket-level health with evacuation and cross-socket failover, and an
+// end-of-run socket state table. -sfaults schedules socket:kind:onset
+// faults — kill (persistent program failures at the onset'th site
+// occurrence: the socket evacuates, chunks re-home, resident pages
+// migrate), slow (probabilistic die timeouts: latency tails only) and link
+// (the socket's interconnect links degrade at fabric epoch onset):
+//
+//	nvdimmc-sim -sockets 3 -channels 2 -rate 1.5e6 -rw randwrite -ops 800 -sfaults 1:kill:1
+//	nvdimmc-sim -sockets 2 -xlat 900 -xbw 4 -rate 1e6 -ops 500 -sfaults 0:link:8
 package main
 
 import (
@@ -74,7 +87,20 @@ func main() {
 	pendingCap := flag.Int("pendingcap", 0, "pooled socket: per-channel admission-held backlog cap in fragments (0 = default)")
 	qos := flag.String("qos", "", "pooled socket: comma-separated dist:weight:qosweight:limit:burst:slo_us tenant contracts (dist: zipf | uni)")
 	isolation := flag.Bool("isolation", true, "pooled socket: with -qos, enforce the contracts (token buckets + DRR dispatch) rather than only tracking them")
+	sockets := flag.Int("sockets", 1, "NUMA fabric: socket count (>1 composes per-socket pools behind one request plane)")
+	xlat := flag.Float64("xlat", 400, "NUMA fabric: cross-socket one-way link latency in nanoseconds")
+	xbw := flag.Float64("xbw", 8, "NUMA fabric: per-directed-link interconnect bandwidth in GB/s")
+	sfaults := flag.String("sfaults", "", "NUMA fabric: comma-separated socket:kind:onset schedules (kind: kill | slow | link)")
 	flag.Parse()
+
+	if *sockets > 1 {
+		runFabric(fabricOpts{
+			sockets: *sockets, channels: *channels, dimms: *dimms,
+			interleave: *interleave, rate: *rate, rw: *rw, bs: *bs, ops: *ops,
+			spares: *spares, xlatNS: *xlat, xbwGBps: *xbw, sfaults: *sfaults,
+		})
+		return
+	}
 
 	if *channels > 1 || *dimms > 1 || *spares > 0 || *faults != "" ||
 		*admission != "block" || *deadline > 0 || *pendingCap > 0 || *qos != "" {

@@ -378,6 +378,20 @@ func (c *Counters) Merge(o *Counters) {
 	}
 }
 
+// MergePrefixed folds o's counters into c under prefix+name, in o's sorted
+// name order (deterministic like Merge). The NUMA fabric uses it to keep N
+// sockets' pool counters distinguishable in one flat table ("s0/retry-ok",
+// "s1/retry-ok") without inventing a nested counter type.
+func (c *Counters) MergePrefixed(prefix string, o *Counters) {
+	if o == nil {
+		return
+	}
+	o.sortNames()
+	for _, n := range o.names {
+		c.Add(prefix+n, o.m[n])
+	}
+}
+
 // Sum returns the total of the named counters (names never touched count
 // zero). Health probes use it to fold a family of error counters into one
 // rate-comparable figure.

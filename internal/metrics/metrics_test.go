@@ -336,6 +336,28 @@ func TestCountersMerge(t *testing.T) {
 	}
 }
 
+func TestCountersMergePrefixed(t *testing.T) {
+	a := NewCounters()
+	a.Add("shared", 2)
+	b := NewCounters()
+	b.Add("shared", 3)
+	b.Add("only-b", 7)
+	a.MergePrefixed("s1/", b)
+	if a.Get("shared") != 2 || a.Get("s1/shared") != 3 || a.Get("s1/only-b") != 7 {
+		t.Fatalf("merged = %v", a)
+	}
+	if s := a.String(); s != "{s1/only-b=7 s1/shared=3 shared=2}" {
+		t.Fatalf("String() = %q", s)
+	}
+	if b.Get("shared") != 3 {
+		t.Fatal("prefixed merge modified the source")
+	}
+	a.MergePrefixed("s2/", nil) // must be a no-op
+	if len(a.Names()) != 3 {
+		t.Fatal("nil prefixed merge changed receiver")
+	}
+}
+
 func TestHistogramString(t *testing.T) {
 	h := NewHistogram()
 	h.Record(sim.Microsecond)

@@ -1,0 +1,781 @@
+// Package numa composes N pooled sockets into one multi-socket fabric
+// behind a single Submit/Poll request plane — the pool-of-pools scale-out
+// of ROADMAP item 3, built the way the pool itself composes members, one
+// level up:
+//
+//	member : pool  ::  pool (socket) : fabric
+//
+// The fabric owns a flat address space striped socket-major: socket s
+// serves [s*span, (s+1)*span), span being the smallest pool capacity
+// rounded down to ChunkBytes. A chunk directory (logical socket × chunk →
+// serving socket) indirects every access, so evacuating a socket re-homes
+// its chunks to survivors without changing a single request address.
+//
+// Remote requests pay a METICULOUS-style interconnect: per directed link, a
+// configurable one-way latency plus a bandwidth term modeled as
+// deterministic queueing on the link's busy-until horizon — request bytes
+// ride out, completion bytes ride back, both folded into the completion
+// time the submitter observes. Everything advances in the same conservative
+// epoch lockstep as the pool: all fabric state mutates single-threaded at
+// epoch boundaries in canonical socket order, so output is byte-identical
+// at any worker count, with or without the pools' lookahead scheduler.
+//
+// Socket health is the member lattice lifted one level (Up → Suspect →
+// Evacuating → Evacuated), driven by epoch-boundary probes that diff each
+// pool's health snapshot (pool.Probe). A failing socket is drained by a
+// rate-limited background migration of its resident set to survivors,
+// while foreground traffic re-routes through the directory — typed
+// ErrSocketEvacuated / ErrFabricDegraded, never silent loss.
+package numa
+
+import (
+	"errors"
+	"fmt"
+
+	"nvdimmc/internal/fault"
+	"nvdimmc/internal/metrics"
+	"nvdimmc/internal/pool"
+	"nvdimmc/internal/sim"
+	"nvdimmc/internal/workload/openloop"
+)
+
+// Typed fabric errors, the socket-level analogues of the pool's
+// ErrMemberQuarantined / ErrPoolDegraded.
+var (
+	// ErrSocketEvacuated: the request's serving socket is evacuating or
+	// evacuated and no healthy survivor serves its chunks (or a retry found
+	// its new home already gone).
+	ErrSocketEvacuated = errors.New("numa: socket evacuated")
+	// ErrFabricDegraded: cross-socket retries exhausted without landing the
+	// request on a healthy socket.
+	ErrFabricDegraded = errors.New("numa: fabric degraded, retries exhausted")
+)
+
+// LinkFault degrades the interconnect at a scheduled epoch boundary —
+// the seeded campaign's "interconnect-degrade" lever.
+type LinkFault struct {
+	// Epoch is the fabric epoch count at whose boundary the fault applies.
+	Epoch int
+	// Socket selects the victim: every link touching it degrades. Negative
+	// degrades the whole fabric.
+	Socket int
+	// LatFactor multiplies the affected links' one-way latency (values < 1
+	// are ignored).
+	LatFactor int
+	// BWDivide divides the affected links' bandwidth (values < 1 ignored).
+	BWDivide int
+}
+
+// Config parameterizes a fabric.
+type Config struct {
+	// Sockets is the socket count (default 2).
+	Sockets int
+	// Pool is the per-socket pool template. Its Seed, Workers and
+	// DisableLookahead are overridden per socket from the fabric-level
+	// fields below; everything else applies verbatim to every socket.
+	Pool pool.Config
+
+	// XLat is the cross-socket one-way link latency (default 400 ns, the
+	// remote-DRAM asymmetry scale the Empirical Guide measures).
+	XLat sim.Duration
+	// XBWBytesPerSec is the per-directed-link bandwidth (default 8 GB/s).
+	XBWBytesPerSec int64
+	// ChunkBytes is the directory granularity: evacuation re-homes whole
+	// chunks. Must be a multiple of the pool interleave (default 256 KiB).
+	ChunkBytes int64
+
+	// ProbeEvery gates socket probes to every Nth fabric epoch (default 8).
+	ProbeEvery int
+	// SuspectClearProbes is the clean-probe streak that returns a Suspect
+	// socket to Up (default 4).
+	SuspectClearProbes int
+	// EvacuateAfterProbes is the consecutive-suspect-probe streak that
+	// escalates Suspect to Evacuating (default 3). Degraded positions and
+	// pool-invariant breaches escalate immediately.
+	EvacuateAfterProbes int
+	// MigratePagesPerEpoch rate-limits background evacuation migration
+	// (default 8 pages per epoch per job, the rebuild engine's default).
+	MigratePagesPerEpoch int
+
+	// MaxRetries bounds cross-socket re-dispatch of typed-failed requests
+	// (default 4; negative disables retry).
+	MaxRetries int
+	// RetryBackoffEpochs / RetryBackoffCap shape the exponential backoff
+	// between attempts, in fabric epochs (defaults 1 / 8).
+	RetryBackoffEpochs int
+	RetryBackoffCap    int
+
+	// MaxEpochs guards Run/Drain against wedges (default 1<<21).
+	MaxEpochs int
+	// Workers parallelizes each pool's member advance (fabric state is
+	// boundary-only and never sharded).
+	Workers int
+	// Seed derives every per-socket pool seed (zero gets a fixed default).
+	Seed uint64
+	// DisableLookahead forces naive per-epoch member advance in every pool.
+	DisableLookahead bool
+	// Notify, when set, receives terminal completions instead of Poll.
+	Notify func(pool.Completion)
+	// LinkFaults schedules interconnect degradations.
+	LinkFaults []LinkFault
+	// ArmFaults arms per-member fault registries, keyed by socket and
+	// member — the fabric campaign's socket-kill / slow-socket lever. It
+	// runs after any ArmFaults on the pool template.
+	ArmFaults func(socket, member int, reg *fault.Registry)
+}
+
+// fabReq is one fabric-level request; it fans out into per-socket sockOps
+// (one per contiguous same-owner address run) that complete together.
+type fabReq struct {
+	id       uint64
+	tenant   int
+	src      int
+	arrival  sim.Duration
+	deadline sim.Duration // absolute instant (arrival + budget); 0 = none
+	write    bool
+	bytes    int
+	remote   bool
+
+	remaining int
+	lastDone  sim.Duration
+	err       error
+	// insub is true while Submit is still dispatching pieces: a request
+	// retiring with it set resolved synchronously, so the caller holds the
+	// typed error and no Completion record is produced (pool.Submit parity).
+	insub bool
+}
+
+// sockOp is one per-socket piece of a fabric request.
+type sockOp struct {
+	req      *fabReq
+	off      int64 // fabric address of this piece
+	n        int
+	attempts int
+}
+
+type fabRetry struct {
+	op    *sockOp
+	ready int // fabric epoch at which it re-dispatches
+}
+
+// Fabric is the multi-socket request plane.
+type Fabric struct {
+	Cfg Config
+
+	socks []*socket
+	links *interconnect
+
+	span   int64 // bytes served per socket
+	chunks int   // directory chunks per socket
+	owner  []int // (logical socket * chunks + chunk) -> serving socket
+	reown  int   // round-robin cursor for re-homing spread
+
+	epoch  sim.Duration
+	now    sim.Duration // current boundary, relative to fabric origin
+	epochs int
+
+	retries []fabRetry
+	jobs    []*migJob
+
+	nextID      uint64
+	completions []pool.Completion
+
+	ctr        *metrics.Counters
+	lat        *metrics.Histogram // local foreground completions
+	latRemote  *metrics.Histogram // foreground completions that crossed a link
+	latMigrate *metrics.Histogram // foreground completions while migration ran
+
+	submitted, completed, failed, shed, expired, throttled uint64
+	completedLate                                          uint64
+	writesIn, writesAck, writesFailed                      uint64
+	writesShed, writesExpired, writesThrottled             uint64
+	untypedFailures                                        uint64
+	// postEvacSubmissions counts foreground pool submissions that reached a
+	// socket at or past Evacuating; probe-before-submit ordering makes this
+	// structurally zero and CheckHealth asserts it.
+	postEvacSubmissions uint64
+	firstFailure        error
+}
+
+// socket is one pooled socket plus its fabric-side tracking state.
+type socket struct {
+	pool   *pool.Pool
+	health *socketHealth
+	pend   map[uint64]*sockOp // pool request ID -> foreground op
+	mig    map[uint64]*migOp  // pool request ID -> migration op
+}
+
+func (c *Config) fillDefaults() error {
+	if c.Sockets == 0 {
+		c.Sockets = 2
+	}
+	if c.Sockets < 1 {
+		return fmt.Errorf("numa: %d sockets", c.Sockets)
+	}
+	if c.XLat == 0 {
+		c.XLat = 400 * sim.Nanosecond
+	}
+	if c.XLat < 0 {
+		return fmt.Errorf("numa: negative link latency %v", c.XLat)
+	}
+	if c.XBWBytesPerSec == 0 {
+		c.XBWBytesPerSec = 8 << 30
+	}
+	if c.XBWBytesPerSec < 0 {
+		return fmt.Errorf("numa: negative link bandwidth %d", c.XBWBytesPerSec)
+	}
+	if c.ChunkBytes == 0 {
+		c.ChunkBytes = 256 << 10
+	}
+	if c.ChunkBytes < 0 {
+		return fmt.Errorf("numa: negative chunk size %d", c.ChunkBytes)
+	}
+	if c.ProbeEvery <= 0 {
+		c.ProbeEvery = 8
+	}
+	if c.SuspectClearProbes <= 0 {
+		c.SuspectClearProbes = 4
+	}
+	if c.EvacuateAfterProbes <= 0 {
+		c.EvacuateAfterProbes = 3
+	}
+	if c.MigratePagesPerEpoch <= 0 {
+		c.MigratePagesPerEpoch = 8
+	}
+	if c.MaxRetries == 0 {
+		c.MaxRetries = 4
+	}
+	if c.MaxRetries < 0 {
+		c.MaxRetries = 0 // retry disabled; first typed failure is terminal
+	}
+	if c.RetryBackoffEpochs <= 0 {
+		c.RetryBackoffEpochs = 1
+	}
+	if c.RetryBackoffCap <= 0 {
+		c.RetryBackoffCap = 8
+	}
+	if c.MaxEpochs <= 0 {
+		c.MaxEpochs = 1 << 21
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return nil
+}
+
+// New assembles Sockets pools from the template, derives the socket-major
+// address map, and aligns everything on a shared epoch clock. Each pool
+// aligns its own members internally; the fabric then works purely in
+// durations relative to each pool's origin, so per-socket boot-time skew
+// (different seeds boot in different simulated times) never leaks into
+// fabric arithmetic.
+func New(cfg Config) (*Fabric, error) {
+	if err := cfg.fillDefaults(); err != nil {
+		return nil, err
+	}
+	f := &Fabric{
+		Cfg:        cfg,
+		ctr:        metrics.NewCounters(),
+		lat:        metrics.NewHistogram(),
+		latRemote:  metrics.NewHistogram(),
+		latMigrate: metrics.NewHistogram(),
+	}
+	for s := 0; s < cfg.Sockets; s++ {
+		pc := cfg.Pool
+		pc.Seed = sim.SplitSeed(cfg.Seed, fmt.Sprintf("numa/socket-%02d", s))
+		pc.Workers = cfg.Workers
+		pc.DisableLookahead = cfg.DisableLookahead
+		pc.Notify = nil // the fabric polls
+		if cfg.ArmFaults != nil {
+			sock := s
+			prev := cfg.Pool.ArmFaults
+			pc.ArmFaults = func(m int, reg *fault.Registry) {
+				if prev != nil {
+					prev(m, reg)
+				}
+				cfg.ArmFaults(sock, m, reg)
+			}
+			pc.FaultSeed = sim.SplitSeed(cfg.Seed, fmt.Sprintf("numa/fault-%02d", s))
+		}
+		p, err := pool.New(pc)
+		if err != nil {
+			return nil, fmt.Errorf("numa: socket %d: %w", s, err)
+		}
+		f.socks = append(f.socks, &socket{
+			pool:   p,
+			health: &socketHealth{},
+			pend:   map[uint64]*sockOp{},
+			mig:    map[uint64]*migOp{},
+		})
+	}
+	f.epoch = f.socks[0].pool.Cfg.Epoch
+	span := f.socks[0].pool.Capacity()
+	for _, s := range f.socks[1:] {
+		if c := s.pool.Capacity(); c < span {
+			span = c
+		}
+	}
+	span -= span % cfg.ChunkBytes
+	if span < cfg.ChunkBytes {
+		return nil, fmt.Errorf("numa: socket capacity %d below one %d-byte chunk", span, cfg.ChunkBytes)
+	}
+	f.span = span
+	f.chunks = int(span / cfg.ChunkBytes)
+	f.owner = make([]int, cfg.Sockets*f.chunks)
+	for i := range f.owner {
+		f.owner[i] = i / f.chunks
+	}
+	f.links = newInterconnect(cfg.Sockets, cfg.XLat, cfg.XBWBytesPerSec)
+	return f, nil
+}
+
+// Span returns the bytes served per socket; Capacity the fabric total.
+func (f *Fabric) Span() int64     { return f.span }
+func (f *Fabric) Capacity() int64 { return f.span * int64(f.Cfg.Sockets) }
+
+// Now returns the current epoch boundary as a duration since fabric start.
+func (f *Fabric) Now() sim.Duration { return f.now }
+
+// Socket exposes socket s's pool (tests, health checks, CLI tables).
+func (f *Fabric) Socket(s int) *pool.Pool { return f.socks[s].pool }
+
+// ownerOf returns the socket currently serving the chunk holding off.
+func (f *Fabric) ownerOf(off int64) int {
+	return f.owner[int(off/f.Cfg.ChunkBytes)]
+}
+
+// localOff maps a fabric address to the serving pool's local offset: the
+// within-span offset is preserved across re-homing, so migration and
+// foreground traffic agree on addresses without a translation table.
+func (f *Fabric) localOff(off int64) int64 { return off % f.span }
+
+// Submit offers one request to the fabric at the current epoch boundary.
+// Requests wholly refused at admission (every piece shed or throttled
+// synchronously by its pool) return the typed error immediately, like
+// pool.Submit; partially admitted requests resolve through Poll/Notify
+// with the typed chain attached. Addresses outside [0, Capacity) panic:
+// callers own admission of addresses, as with the pool decoder.
+func (f *Fabric) Submit(r openloop.Request) (uint64, error) {
+	if r.Off < 0 || r.Len <= 0 || r.Off+int64(r.Len) > f.Capacity() {
+		panic(fmt.Sprintf("numa: request [%d,+%d) outside fabric capacity %d", r.Off, r.Len, f.Capacity()))
+	}
+	src := r.Socket
+	if src < 0 || src >= f.Cfg.Sockets {
+		src = 0
+	}
+	f.nextID++
+	req := &fabReq{
+		id:      f.nextID,
+		tenant:  r.Tenant,
+		src:     src,
+		arrival: r.Arrival,
+		write:   r.Write,
+		bytes:   r.Len,
+	}
+	if r.Deadline > 0 {
+		req.deadline = r.Arrival + r.Deadline
+	}
+	f.submitted++
+	if r.Write {
+		f.writesIn++
+	}
+	// Split at chunk boundaries, merging consecutive chunks with the same
+	// serving socket so a request crossing an un-re-homed span stays one op.
+	type seg struct {
+		off int64
+		n   int
+	}
+	var segs []seg
+	off, n := r.Off, r.Len
+	for n > 0 {
+		run := int(f.Cfg.ChunkBytes - off%f.Cfg.ChunkBytes)
+		if run > n {
+			run = n
+		}
+		if len(segs) > 0 {
+			last := &segs[len(segs)-1]
+			if last.off+int64(last.n) == off && f.ownerOf(last.off) == f.ownerOf(off) &&
+				f.localOff(last.off)+int64(last.n) == f.localOff(off) {
+				last.n += run
+				off += int64(run)
+				n -= run
+				continue
+			}
+		}
+		segs = append(segs, seg{off, run})
+		off += int64(run)
+		n -= run
+	}
+	req.remaining = len(segs)
+	req.insub = true
+	for _, sg := range segs {
+		f.dispatch(&sockOp{req: req, off: sg.off, n: sg.n})
+	}
+	req.insub = false
+	if req.remaining == 0 {
+		// Every piece resolved synchronously (admission refusal or typed
+		// fast-fail): hand the caller the typed chain, pool-style — the
+		// outcome counters are already settled, no Completion record.
+		return req.id, req.err
+	}
+	return req.id, nil
+}
+
+// dispatch routes one sockOp through the directory and submits it to its
+// serving pool, paying the request-path interconnect transfer. It is the
+// single choke point for the post-evacuation invariant: a piece whose
+// serving socket is at or past Evacuating is refused typed here, before
+// any pool sees it.
+func (f *Fabric) dispatch(op *sockOp) {
+	dst := f.ownerOf(op.off)
+	h := f.socks[dst].health
+	if h.state >= SocketEvacuating {
+		f.ctr.Inc("refused-evacuated")
+		f.opTerminal(op, fmt.Errorf("numa: socket %d %s (%s): %w", dst, h.state, h.reason, ErrSocketEvacuated), f.now)
+		return
+	}
+	at := op.req.arrival
+	if at < f.now {
+		at = f.now
+	}
+	xb := 64 // request descriptor
+	if op.req.write {
+		xb += op.n // write payload rides the request path
+	}
+	arrive := f.links.xfer(op.req.src, dst, xb, at)
+	var budget sim.Duration
+	if dl := op.req.deadline; dl > 0 {
+		budget = dl - arrive
+		if budget <= 0 {
+			// The wire alone eats the whole budget: fail fast, typed, without
+			// burning a pool slot.
+			f.ctr.Inc("expired-on-wire")
+			f.opTerminal(op, fmt.Errorf("numa: link transfer lands %v past deadline: %w",
+				arrive-dl, pool.ErrDeadlineExceeded), arrive)
+			return
+		}
+	}
+	if op.req.src != dst {
+		if !op.req.remote {
+			op.req.remote = true
+			f.ctr.Inc("remote-requests")
+		}
+	}
+	if h.state >= SocketEvacuating {
+		// Unreachable (checked above) but kept as the counted invariant:
+		// any submission past this point to an evacuating socket is a bug
+		// CheckHealth must surface.
+		f.postEvacSubmissions++
+	}
+	pid, err := f.socks[dst].pool.Submit(openloop.Request{
+		Arrival:  arrive,
+		Deadline: budget,
+		Tenant:   op.req.tenant,
+		Socket:   dst,
+		Off:      f.localOff(op.off),
+		Len:      op.n,
+		Write:    op.req.write,
+	})
+	if err != nil {
+		// Synchronous typed refusal (admission shed / tenant throttle).
+		f.opTerminal(op, err, arrive)
+		return
+	}
+	f.socks[dst].pend[pid] = op
+}
+
+// opTerminal retires one piece with a typed error.
+func (f *Fabric) opTerminal(op *sockOp, err error, at sim.Duration) {
+	if op.req.err == nil {
+		op.req.err = fmt.Errorf("numa: piece [%d,+%d): %w", op.off, op.n, err)
+	}
+	f.requestPieceDone(op.req, at)
+}
+
+// opDone retires one piece successfully at instant at.
+func (f *Fabric) opDone(op *sockOp, at sim.Duration) {
+	f.requestPieceDone(op.req, at)
+}
+
+// opFailed handles an asynchronous typed failure: re-dispatch through the
+// directory after capped exponential backoff — the failure usually means
+// the serving socket just degraded, and the probe/evacuation machinery is
+// re-homing its chunks — failing fast when the remaining deadline budget
+// cannot cover the next attempt.
+func (f *Fabric) opFailed(op *sockOp, err error, at sim.Duration) {
+	op.attempts++
+	if op.attempts > f.Cfg.MaxRetries {
+		f.ctr.Inc("fab-retry-exhausted")
+		f.opTerminal(op, fmt.Errorf("%w after %d attempts: %v", ErrFabricDegraded, op.attempts, err), at)
+		return
+	}
+	delay := f.Cfg.RetryBackoffEpochs << (op.attempts - 1)
+	if delay > f.Cfg.RetryBackoffCap {
+		delay = f.Cfg.RetryBackoffCap
+	}
+	if dl := op.req.deadline; dl > 0 {
+		eta := f.now + sim.Duration(delay)*f.epoch + f.Cfg.XLat
+		if eta > dl {
+			f.ctr.Inc("fab-retry-infeasible")
+			f.opTerminal(op, fmt.Errorf("numa: retry %d backoff lands %v past deadline (%v): %w",
+				op.attempts, eta-dl, err, pool.ErrDeadlineExceeded), at)
+			return
+		}
+	}
+	f.ctr.Inc("fab-retry-queued")
+	f.retries = append(f.retries, fabRetry{op: op, ready: f.epochs + delay})
+}
+
+// promoteRetries re-dispatches every piece whose backoff has elapsed, in
+// queue (submission) order.
+func (f *Fabric) promoteRetries() {
+	if len(f.retries) == 0 {
+		return
+	}
+	keep := f.retries[:0]
+	for _, e := range f.retries {
+		if e.ready > f.epochs {
+			keep = append(keep, e)
+			continue
+		}
+		f.ctr.Inc("fab-retry-promoted")
+		f.dispatch(e.op)
+	}
+	f.retries = keep
+}
+
+// requestPieceDone folds one terminal piece into its request; the last
+// piece classifies and retires the whole request in pool outcome terms.
+func (f *Fabric) requestPieceDone(r *fabReq, at sim.Duration) {
+	if at > r.lastDone {
+		r.lastDone = at
+	}
+	r.remaining--
+	if r.remaining > 0 {
+		return
+	}
+	c := pool.Completion{
+		ID:      r.id,
+		Tenant:  r.tenant,
+		Write:   r.write,
+		At:      sim.Time(r.lastDone),
+		Latency: r.lastDone - r.arrival,
+		Err:     r.err,
+	}
+	switch {
+	case r.err == nil:
+		c.Outcome = pool.OutcomeCompleted
+		f.completed++
+		if r.write {
+			f.writesAck++
+		}
+		if r.deadline > 0 && r.lastDone > r.deadline {
+			c.Late = true
+			c.Lateness = r.lastDone - r.deadline
+			f.completedLate++
+		}
+		lat := c.Latency
+		if r.remote {
+			f.latRemote.Record(lat)
+		} else {
+			f.lat.Record(lat)
+		}
+		if len(f.jobs) > 0 {
+			f.latMigrate.Record(lat)
+		}
+	case errors.Is(r.err, pool.ErrTenantThrottled):
+		c.Outcome = pool.OutcomeThrottled
+		f.throttled++
+		if r.write {
+			f.writesThrottled++
+		}
+	case errors.Is(r.err, pool.ErrAdmissionFull):
+		c.Outcome = pool.OutcomeShed
+		f.shed++
+		if r.write {
+			f.writesShed++
+		}
+	case errors.Is(r.err, pool.ErrDeadlineExceeded):
+		c.Outcome = pool.OutcomeExpired
+		f.expired++
+		if r.write {
+			f.writesExpired++
+		}
+	default:
+		c.Outcome = pool.OutcomeFailed
+		f.failed++
+		if r.write {
+			f.writesFailed++
+		}
+		if !errors.Is(r.err, pool.ErrMemberQuarantined) && !errors.Is(r.err, pool.ErrPoolDegraded) &&
+			!errors.Is(r.err, ErrSocketEvacuated) && !errors.Is(r.err, ErrFabricDegraded) {
+			f.untypedFailures++
+		}
+		if f.firstFailure == nil {
+			f.firstFailure = r.err
+		}
+	}
+	if !r.insub {
+		f.completions = append(f.completions, c)
+	}
+}
+
+// Step advances the fabric one epoch: boundary bookkeeping (link faults,
+// retry promotion, migration issue) in canonical order, every socket pool
+// one epoch (each parallelizing its members per Cfg.Workers; socket order
+// is serial and state-independent), then completion collection, socket
+// probes and migration sweep — all single-threaded at the boundary.
+func (f *Fabric) Step() {
+	f.epochs++
+	f.applyLinkFaults()
+	f.promoteRetries()
+	f.issueMigrations()
+	for _, s := range f.socks {
+		s.pool.Step()
+	}
+	f.collect()
+	f.sweepMigrations()
+	f.probeSockets()
+	f.now += f.epoch
+	f.deliver()
+}
+
+// collect drains every socket's completions in socket order and folds them
+// into fabric requests, paying the return-path transfer for completed
+// remote pieces (a read's payload rides home; acks are descriptor-sized).
+func (f *Fabric) collect() {
+	for si, s := range f.socks {
+		for _, c := range s.pool.Poll(0) {
+			rel := c.At.Sub(s.pool.Origin())
+			if op, ok := s.pend[c.ID]; ok {
+				delete(s.pend, c.ID)
+				switch c.Outcome {
+				case pool.OutcomeCompleted:
+					rb := 64
+					if !op.req.write {
+						rb += op.n
+					}
+					f.opDone(op, f.links.xfer(si, op.req.src, rb, rel))
+				case pool.OutcomeFailed:
+					f.opFailed(op, c.Err, rel)
+				default: // shed / expired / throttled, asynchronously
+					f.opTerminal(op, c.Err, rel)
+				}
+				continue
+			}
+			if mo, ok := s.mig[c.ID]; ok {
+				delete(s.mig, c.ID)
+				f.migDone(mo, c)
+				continue
+			}
+			// A completion neither map owns would be a bookkeeping bug;
+			// count it so CheckHealth can fail loudly.
+			f.ctr.Inc("orphan-completions")
+		}
+	}
+}
+
+// deliver hands buffered terminal records to Notify, preserving order, or
+// retains them for Poll.
+func (f *Fabric) deliver() {
+	if f.Cfg.Notify == nil || len(f.completions) == 0 {
+		return
+	}
+	for _, c := range f.completions {
+		f.Cfg.Notify(c)
+	}
+	f.completions = f.completions[:0]
+}
+
+// Poll removes and returns up to max buffered completions (all if max <= 0).
+func (f *Fabric) Poll(max int) []pool.Completion {
+	if max <= 0 || max > len(f.completions) {
+		max = len(f.completions)
+	}
+	if max == 0 {
+		return nil
+	}
+	out := make([]pool.Completion, max)
+	copy(out, f.completions[:max])
+	f.completions = f.completions[:copy(f.completions, f.completions[max:])]
+	return out
+}
+
+// terminal returns the count of retired requests.
+func (f *Fabric) terminal() uint64 {
+	return f.completed + f.failed + f.shed + f.expired + f.throttled
+}
+
+// Quiesced reports whether every submitted request is terminal and no
+// background work (retries, migrations, in-flight pieces) remains.
+func (f *Fabric) Quiesced() bool {
+	if f.terminal() != f.submitted || len(f.retries) != 0 || len(f.jobs) != 0 {
+		return false
+	}
+	for _, s := range f.socks {
+		if len(s.pend) != 0 || len(s.mig) != 0 || !s.pool.Quiesced() {
+			return false
+		}
+	}
+	return true
+}
+
+// Drain steps the fabric until it quiesces (or the MaxEpochs guard trips).
+func (f *Fabric) Drain() error {
+	for !f.Quiesced() {
+		if f.epochs >= f.Cfg.MaxEpochs {
+			return fmt.Errorf("numa: %d epochs without draining (%d/%d requests terminal) — wedged?",
+				f.epochs, f.terminal(), f.submitted)
+		}
+		f.Step()
+	}
+	return nil
+}
+
+// Run submits the stream next yields (arrival order, one epoch's worth per
+// step) and drains the fabric. Unlike pool.Run there is no quiet-epoch
+// batching at fabric level: pools may still warp idle members internally,
+// but the fabric boundary cadence is uniform so lockstep and lookahead
+// stay byte-comparable one level up too.
+func (f *Fabric) Run(next func() (openloop.Request, bool)) error {
+	var look *openloop.Request
+	exhausted := false
+	for {
+		if f.epochs >= f.Cfg.MaxEpochs {
+			return fmt.Errorf("numa: %d epochs without draining (%d/%d requests terminal) — wedged?",
+				f.epochs, f.terminal(), f.submitted)
+		}
+		epochEnd := f.now + f.epoch
+		for !exhausted {
+			if look == nil {
+				r, ok := next()
+				if !ok {
+					exhausted = true
+					break
+				}
+				look = &r
+			}
+			if look.Arrival >= epochEnd {
+				break
+			}
+			f.Submit(*look) // sync refusals are already terminal-counted
+			look = nil
+		}
+		f.Step()
+		if exhausted && look == nil && f.Quiesced() {
+			return nil
+		}
+	}
+}
+
+// RunOpenLoop runs count arrivals from gen through the fabric.
+func (f *Fabric) RunOpenLoop(gen *openloop.Generator, count int) error {
+	issued := 0
+	return f.Run(func() (openloop.Request, bool) {
+		if issued >= count {
+			return openloop.Request{}, false
+		}
+		issued++
+		return gen.Next(), true
+	})
+}

@@ -94,6 +94,34 @@ func (d *Decoder) Lookup(off int64) (member int, memberOff int64) {
 	return member, group*d.gran + off%d.gran
 }
 
+// Inverse maps one (member, member-local offset) pair back to the pooled
+// offset Lookup would have decoded it from — the exact bijection inverse,
+// used by the resident-set snapshot the NUMA fabric's evacuation engine
+// replays (a member knows its pages only by member-local address). Inputs
+// outside the member set or the member capacity panic, like Lookup.
+func (d *Decoder) Inverse(member int, memberOff int64) int64 {
+	if member < 0 || member >= d.members {
+		panic(fmt.Sprintf("pool: member %d outside %d-member decoder", member, d.members))
+	}
+	if memberOff < 0 || memberOff >= d.memberCap {
+		panic(fmt.Sprintf("pool: member offset %d outside member capacity %d", memberOff, d.memberCap))
+	}
+	group := memberOff / d.gran
+	key := fold(group)
+	n := int64(d.members)
+	var pos int64
+	if d.pow2 {
+		// Forward: member = (pos ^ key) & (n-1) with pos < n, so XOR with the
+		// masked key undoes it exactly.
+		pos = (int64(member) ^ key) & (n - 1)
+	} else {
+		// Forward: member = (pos + key%n) % n — undo the rotation, keeping the
+		// result in [0, n) for any sign of key%n.
+		pos = ((int64(member)-key%n)%n + n) % n
+	}
+	return (group*n+pos)*d.gran + memberOff%d.gran
+}
+
 // Fragments splits the pooled access [off, off+n) at stripe boundaries into
 // per-member extents, in pooled-address order.
 func (d *Decoder) Fragments(off int64, n int) []Extent {

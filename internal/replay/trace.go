@@ -23,6 +23,7 @@ package replay
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"strconv"
@@ -31,6 +32,12 @@ import (
 	"nvdimmc/internal/sim"
 	"nvdimmc/internal/workload/openloop"
 )
+
+// ErrMalformed wraps every decode failure a Reader can surface — truncated
+// varints, bad field counts, invalid records, non-numeric text fields —
+// so callers (and the fuzz harness) can separate "this trace is broken"
+// from transport errors with errors.Is.
+var ErrMalformed = errors.New("replay: malformed trace")
 
 // Format selects a trace encoding.
 type Format int
@@ -240,7 +247,7 @@ func NewReader(r io.Reader) (*Reader, error) {
 	br := bufio.NewReader(r)
 	head, err := br.Peek(len(binMagic))
 	if err != nil && len(head) == 0 {
-		return nil, fmt.Errorf("replay: empty trace: %w", err)
+		return nil, fmt.Errorf("%w: empty trace: %w", ErrMalformed, err)
 	}
 	rd := &Reader{br: br, byteR: br}
 	if string(head) == binMagic {
@@ -273,10 +280,13 @@ func (r *Reader) Next() (openloop.Request, error) {
 		req, err = r.nextText()
 	}
 	if err != nil {
-		return openloop.Request{}, err
+		if err == io.EOF {
+			return openloop.Request{}, io.EOF
+		}
+		return openloop.Request{}, fmt.Errorf("%w: %w", ErrMalformed, err)
 	}
 	if err := validate(req); err != nil {
-		return openloop.Request{}, fmt.Errorf("%w (record %d)", err, r.n+1)
+		return openloop.Request{}, fmt.Errorf("%w: %w (record %d)", ErrMalformed, err, r.n+1)
 	}
 	if req.Arrival < r.prev {
 		req.Arrival = r.prev

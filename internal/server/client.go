@@ -18,12 +18,57 @@ import (
 	"nvdimmc/internal/sim"
 )
 
+// RetryPolicy bounds automatic resubmission of refused Submits. Only 429
+// (throttled) and 503 (shed / draining) are retried — both mean "the plane
+// refused this op right now", the only refusals where trying again can
+// succeed. Backoff is exponential from Base to Cap with seeded jitter, and
+// the whole retry loop stays inside Budget — further capped by the op's own
+// DeadlineUS, so a deadline-carrying op fails fast instead of retrying past
+// the point where the server would expire it anyway.
+type RetryPolicy struct {
+	// Max is the retry attempt count after the first try (0 disables retry).
+	Max int
+	// Base is the first backoff step (default 2ms).
+	Base time.Duration
+	// Cap is the backoff ceiling (default 64ms).
+	Cap time.Duration
+	// Budget is the wall-clock allowance for the whole Submit including
+	// backoff sleeps (default 250ms).
+	Budget time.Duration
+	// Seed drives the jitter RNG (default 1) — seeded so test runs are
+	// reproducible.
+	Seed uint64
+}
+
+// backoff returns the jittered exponential delay before retry `attempt`
+// (1-based): half the step deterministic, half uniformly jittered by jit.
+func (p *RetryPolicy) backoff(jit uint64, attempt int) time.Duration {
+	base, cap := p.Base, p.Cap
+	if base <= 0 {
+		base = 2 * time.Millisecond
+	}
+	if cap <= 0 {
+		cap = 64 * time.Millisecond
+	}
+	d := base << (attempt - 1)
+	if d > cap || d <= 0 {
+		d = cap
+	}
+	return d/2 + time.Duration(jit%uint64(d/2+1))
+}
+
 // Client is a typed HTTP client for one service instance.
 type Client struct {
 	// Base is the service root, e.g. "http://127.0.0.1:8383".
 	Base string
 	// HTTP is the transport (default http.DefaultClient).
 	HTTP *http.Client
+	// Retry, when set with Max > 0, resubmits throttled/shed Submits with
+	// bounded jittered backoff. Nil keeps the historical fail-fast behavior.
+	Retry *RetryPolicy
+
+	retryMu  sync.Mutex
+	retryRNG *sim.Rand
 }
 
 func (c *Client) http() *http.Client {
@@ -77,7 +122,54 @@ func (c *Client) Submit(op Op, wait bool) (Result, int, error) {
 	}
 	var res Result
 	code, err := c.post(path, op, &res)
+	p := c.Retry
+	if p == nil || p.Max <= 0 || err != nil || !retryable(code) {
+		return res, code, err
+	}
+	start := time.Now()
+	budget := p.Budget
+	if budget <= 0 {
+		budget = 250 * time.Millisecond
+	}
+	if op.DeadlineUS > 0 {
+		if d := time.Duration(op.DeadlineUS * float64(time.Microsecond)); d < budget {
+			budget = d
+		}
+	}
+	for attempt := 1; attempt <= p.Max; attempt++ {
+		delay := p.backoff(c.retryJitter(), attempt)
+		if time.Since(start)+delay > budget {
+			break
+		}
+		time.Sleep(delay)
+		res = Result{}
+		code, err = c.post(path, op, &res)
+		if err != nil || !retryable(code) {
+			break
+		}
+	}
 	return res, code, err
+}
+
+// retryable: refusals where a later attempt can succeed. 504/500/400 are
+// final for this op; 429/503 only describe the plane's current load.
+func retryable(code int) bool {
+	return code == http.StatusTooManyRequests || code == http.StatusServiceUnavailable
+}
+
+// retryJitter draws the next jitter word; locked, since one Client may be
+// shared by concurrent submitters.
+func (c *Client) retryJitter() uint64 {
+	c.retryMu.Lock()
+	defer c.retryMu.Unlock()
+	if c.retryRNG == nil {
+		seed := c.Retry.Seed
+		if seed == 0 {
+			seed = 1
+		}
+		c.retryRNG = sim.NewRand(seed)
+	}
+	return c.retryRNG.Uint64()
 }
 
 // Stream posts a batch of ops and decodes the full JSON-lines response:

@@ -1,0 +1,127 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// flakySubmit answers /v1/submit with `code` for the first `fails` requests,
+// then 200s with a completed Result, counting every attempt.
+func flakySubmit(code int, fails int64) (*httptest.Server, *atomic.Int64) {
+	var hits atomic.Int64
+	h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n := hits.Add(1)
+		if n <= fails {
+			w.WriteHeader(code)
+			json.NewEncoder(w).Encode(errorBody{Error: "refused"})
+			return
+		}
+		json.NewEncoder(w).Encode(Result{ID: uint64(n), Status: "completed"})
+	})
+	return httptest.NewServer(h), &hits
+}
+
+// TestClientRetryRecovers: a Submit refused with 503 twice then accepted
+// must succeed transparently under the retry policy, in exactly
+// fails+1 attempts.
+func TestClientRetryRecovers(t *testing.T) {
+	for _, code := range []int{http.StatusServiceUnavailable, http.StatusTooManyRequests} {
+		srv, hits := flakySubmit(code, 2)
+		c := &Client{Base: srv.URL, Retry: &RetryPolicy{
+			Max: 4, Base: time.Millisecond, Cap: 4 * time.Millisecond, Seed: 7,
+		}}
+		res, got, err := c.Submit(Op{Off: 0, Len: 4096}, false)
+		srv.Close()
+		if err != nil {
+			t.Fatalf("code %d: %v", code, err)
+		}
+		if got != http.StatusOK || res.Status != "completed" {
+			t.Fatalf("code %d: got HTTP %d status %q, want recovered completion", code, got, res.Status)
+		}
+		if n := hits.Load(); n != 3 {
+			t.Fatalf("code %d: %d attempts, want 3 (2 refusals + 1 success)", code, n)
+		}
+	}
+}
+
+// TestClientRetryExhausted: a server that never recovers uses exactly
+// Max+1 attempts and surfaces the final refusal code.
+func TestClientRetryExhausted(t *testing.T) {
+	srv, hits := flakySubmit(http.StatusServiceUnavailable, 1<<30)
+	defer srv.Close()
+	c := &Client{Base: srv.URL, Retry: &RetryPolicy{
+		Max: 3, Base: time.Millisecond, Cap: 2 * time.Millisecond, Seed: 7,
+	}}
+	_, got, err := c.Submit(Op{Len: 4096}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != http.StatusServiceUnavailable {
+		t.Fatalf("got HTTP %d, want the final 503", got)
+	}
+	if n := hits.Load(); n != 4 {
+		t.Fatalf("%d attempts, want 4 (1 + Max 3)", n)
+	}
+}
+
+// TestClientRetryRespectsDeadline: an op carrying a deadline far below the
+// backoff step must fail fast — no retry can land inside its budget.
+func TestClientRetryRespectsDeadline(t *testing.T) {
+	srv, hits := flakySubmit(http.StatusTooManyRequests, 1<<30)
+	defer srv.Close()
+	c := &Client{Base: srv.URL, Retry: &RetryPolicy{
+		Max: 8, Base: 20 * time.Millisecond, Cap: 20 * time.Millisecond, Seed: 7,
+	}}
+	_, got, err := c.Submit(Op{Len: 4096, DeadlineUS: 100}, false) // 100us budget
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != http.StatusTooManyRequests {
+		t.Fatalf("got HTTP %d, want 429", got)
+	}
+	if n := hits.Load(); n != 1 {
+		t.Fatalf("%d attempts, want 1 (deadline leaves no retry room)", n)
+	}
+}
+
+// TestClientNoRetryByDefault: a nil policy keeps the historical fail-fast
+// single attempt.
+func TestClientNoRetryByDefault(t *testing.T) {
+	srv, hits := flakySubmit(http.StatusServiceUnavailable, 1<<30)
+	defer srv.Close()
+	c := &Client{Base: srv.URL}
+	_, got, err := c.Submit(Op{Len: 4096}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != http.StatusServiceUnavailable {
+		t.Fatalf("got HTTP %d, want 503", got)
+	}
+	if n := hits.Load(); n != 1 {
+		t.Fatalf("%d attempts, want 1", n)
+	}
+}
+
+// TestClientRetryNonRetryableFinal: 400/500/504 are final for the op — the
+// policy must not resubmit them.
+func TestClientRetryNonRetryableFinal(t *testing.T) {
+	for _, code := range []int{http.StatusBadRequest, http.StatusInternalServerError, http.StatusGatewayTimeout} {
+		srv, hits := flakySubmit(code, 1<<30)
+		c := &Client{Base: srv.URL, Retry: &RetryPolicy{Max: 4, Base: time.Millisecond, Seed: 7}}
+		_, got, err := c.Submit(Op{Len: 4096}, false)
+		srv.Close()
+		if err != nil {
+			t.Fatalf("code %d: %v", code, err)
+		}
+		if got != code {
+			t.Fatalf("got HTTP %d, want %d surfaced unretried", got, code)
+		}
+		if n := hits.Load(); n != 1 {
+			t.Fatalf("code %d: %d attempts, want 1", code, n)
+		}
+	}
+}

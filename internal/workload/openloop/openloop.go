@@ -82,6 +82,11 @@ type Tenant struct {
 	Footprint int64
 	// Offset is the tenant's base address in the pooled space.
 	Offset int64
+	// Socket is the tenant's home socket in a NUMA fabric: the socket its
+	// requests are submitted *from*, so fabric addresses outside that
+	// socket's span pay the cross-socket interconnect both ways. Single-pool
+	// consumers ignore it. Negative values are rejected by New.
+	Socket int
 
 	// The QoS contract fields below describe the tenant's service terms to
 	// the pooled front end (pool.QoSFromTenants); the generator itself
@@ -126,6 +131,8 @@ type Request struct {
 	Deadline sim.Duration
 	// Tenant indexes Config.Tenants.
 	Tenant int
+	// Socket is the submitting tenant's home socket (see Tenant.Socket).
+	Socket int
 	Off    int64
 	Len    int
 	Write  bool
@@ -210,6 +217,9 @@ func New(cfg Config) (*Generator, error) {
 		if t.BlockSize < 0 {
 			return nil, fmt.Errorf("openloop: tenant %d block size %d negative (zero defaults to 4096)", i, t.BlockSize)
 		}
+		if t.Socket < 0 {
+			return nil, fmt.Errorf("openloop: tenant %d home socket %d negative (zero is socket 0)", i, t.Socket)
+		}
 		if t.BlockSize == 0 {
 			t.BlockSize = 4096
 		}
@@ -292,6 +302,7 @@ func (g *Generator) Next() Request {
 		Arrival:  g.now,
 		Deadline: g.cfg.Deadline,
 		Tenant:   ti,
+		Socket:   t.Socket,
 		Off:      t.Offset + blk*int64(t.BlockSize),
 		Len:      t.BlockSize,
 		Write:    write,

@@ -330,3 +330,39 @@ func TestCaptureHook(t *testing.T) {
 		t.Fatalf("hook ran after removal: %d records", len(captured))
 	}
 }
+
+// TestSocketStamping: a tenant's home socket rides on every request it
+// emits, without perturbing any RNG draw (the stamp happens after all
+// draws), and negative sockets are rejected at validation.
+func TestSocketStamping(t *testing.T) {
+	base, err := New(twoTenants())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := twoTenants()
+	cfg.Tenants[1].Socket = 2
+	g, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		want, got := base.Next(), g.Next()
+		wantSock := 0
+		if got.Tenant == 1 {
+			wantSock = 2
+		}
+		if got.Socket != wantSock {
+			t.Fatalf("request %d: tenant %d stamped socket %d, want %d", i, got.Tenant, got.Socket, wantSock)
+		}
+		got.Socket = want.Socket
+		if got != want {
+			t.Fatalf("request %d: socket stamping perturbed the stream: %+v vs %+v", i, got, want)
+		}
+	}
+
+	bad := twoTenants()
+	bad.Tenants[0].Socket = -1
+	if _, err := New(bad); err == nil {
+		t.Fatal("negative home socket accepted")
+	}
+}

@@ -321,6 +321,28 @@ func Experiments(opts ExperimentOptions) map[string]func() error {
 			}
 			return err
 		},
+		"numa": func() error {
+			res, err := experiments.Numa(opts)
+			if err == nil {
+				hl("points", float64(res.Points()))
+				hl("acked-writes-lost", float64(res.AckedLostTotal()))
+				hl("post-evac-submissions", float64(res.PostEvacTotal()))
+				hl("min-availability", res.MinAvailability())
+				hl("evacuations", float64(res.Evacuations()))
+			}
+			if err == nil && res.AckedLostTotal() > 0 {
+				err = fmt.Errorf("numa: %d acked writes lost across %d points",
+					res.AckedLostTotal(), res.Points())
+			}
+			if err == nil && res.PostEvacTotal() > 0 {
+				err = fmt.Errorf("numa: %d foreground submissions reached an evacuating socket",
+					res.PostEvacTotal())
+			}
+			if err == nil {
+				err = res.CheckLattice()
+			}
+			return err
+		},
 		"replay": func() error {
 			res, err := experiments.Replay(opts)
 			if err == nil {
@@ -414,6 +436,7 @@ func ExperimentList() []ExperimentInfo {
 		{"faultpool", "socket-scale fault campaign: quarantine, spare failover, rebuild, zero acked-write loss"},
 		{"overload", "saturation campaign: deadlines, typed timeouts and admission shedding from 0.5x to 4x capacity"},
 		{"qos", "multi-tenant noisy-neighbor campaign: token buckets, DRR dispatch and per-tenant SLO verdicts, isolation on vs off"},
+		{"numa", "multi-socket fabric fault campaign: socket kill, slow socket and interconnect degrade with evacuation, migration and cross-socket failover"},
 		{"replay", "trace-replay determinism: captured overload run reproduced byte-identically across formats, worker counts and scheduler modes"},
 		{"service", "network-service conservation: concurrent HTTP clients per admission policy, client ledger reconciled against the drain audit"},
 	}
